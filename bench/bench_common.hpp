@@ -1,0 +1,52 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every binary both registers google-benchmark timings (one benchmark per
+// simulated configuration, with the simulated metrics exported as counters)
+// and prints the regenerated table/figure rows on stdout, so running
+// `build/bench/bench_figN` reproduces the paper's series directly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "workloads/nas.hpp"
+
+namespace hmbench {
+
+using namespace hm;
+
+/// Iteration scale for the bench kernels (full runs; tests use less).
+inline WorkloadScale bench_scale() { return {.factor = 0.5}; }
+
+/// Compile @p loop for @p variant against the standard LM geometry.
+inline CompiledKernel compile_for(const LoopNest& loop, CodegenVariant variant) {
+  const MachineConfig m = MachineConfig::hybrid_coherent();
+  return compile(loop, {.variant = variant}, m.lm.virtual_base, m.lm.size);
+}
+
+/// Run @p loop on a machine of @p kind with the matching codegen variant.
+inline RunReport run_on(MachineKind kind, const LoopNest& loop) {
+  MachineConfig cfg = kind == MachineKind::HybridCoherent ? MachineConfig::hybrid_coherent()
+                      : kind == MachineKind::HybridOracle ? MachineConfig::hybrid_oracle()
+                                                          : MachineConfig::cache_based();
+  const CodegenVariant variant = kind == MachineKind::HybridCoherent
+                                     ? CodegenVariant::HybridProtocol
+                                 : kind == MachineKind::HybridOracle
+                                     ? CodegenVariant::HybridOracle
+                                     : CodegenVariant::CacheOnly;
+  System sys(std::move(cfg));
+  CompiledKernel kernel = compile_for(loop, variant);
+  return sys.run(kernel);
+}
+
+/// Print a separator + title for the regenerated table.
+inline void print_header(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace hmbench

@@ -1,0 +1,80 @@
+// Quickstart: build a loop, run it through the three compiler phases, and
+// simulate it on the coherent hybrid machine and the cache-based machine.
+//
+//   $ build/examples/quickstart
+//
+// This walks the exact example of the paper's Fig. 3: two strided arrays (a
+// written, b read), an irregular store to c that the alias analysis proves
+// safe, and a pointer access the analysis cannot bound — which becomes a
+// guarded access with a double store.
+#include <cstdio>
+
+#include "compiler/codegen.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+using namespace hm;
+
+int main() {
+  // ---- 1. Describe the loop (the compiler's IR) --------------------------
+  LoopNest loop;
+  loop.name = "fig3";
+  const std::uint64_t n = 64 * 1024;
+  loop.arrays = {
+      {.name = "a", .base = 0x100'0000, .elem_size = 8, .elements = n},
+      {.name = "b", .base = 0x200'0000, .elem_size = 8, .elements = n},
+      {.name = "c", .base = 0x300'0000, .elem_size = 8, .elements = n},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1,
+       .is_write = true},
+      {.name = "b[i]", .array = 1, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "c[rnd]", .array = 2, .pattern = PatternKind::Indirect, .is_write = true,
+       .irregular = {.hot_bytes = 16 * 1024, .seed = 7}},
+      // The compiler cannot bound ptr's accessible range: potentially
+      // incoherent, guarded, and (as a write) treated with the double store.
+      {.name = "ptr[..]", .array = 0, .pattern = PatternKind::PointerChase, .is_write = true,
+       .irregular = {.in_chunk_fraction = 0.2, .seed = 8}},
+  };
+  loop.iterations = n;
+  loop.int_ops_per_iter = 2;
+  loop.fp_ops_per_iter = 2;
+
+  // ---- 2. Run the three compiler phases ----------------------------------
+  const MachineConfig hybrid_cfg = MachineConfig::hybrid_coherent();
+  AliasOracle oracle(loop);
+  const Classification cls = classify(loop, oracle);
+  std::printf("Classification: %u regular, %u irregular, %u potentially incoherent\n",
+              cls.num_regular, cls.num_irregular, cls.num_potentially_incoherent);
+  for (unsigned i = 0; i < loop.refs.size(); ++i) {
+    const char* kind = cls.refs[i].cls == RefClass::Regular       ? "regular"
+                       : cls.refs[i].cls == RefClass::Irregular   ? "irregular"
+                                                                  : "potentially incoherent";
+    std::printf("  %-8s -> %s%s\n", loop.refs[i].name.c_str(), kind,
+                cls.refs[i].needs_double_store ? " (double store)" : "");
+  }
+
+  // ---- 3. Simulate on both machines --------------------------------------
+  System hybrid(MachineConfig::hybrid_coherent());
+  System cache(MachineConfig::cache_based());
+  CompiledKernel kh = compile(loop, {.variant = CodegenVariant::HybridProtocol},
+                              hybrid_cfg.lm.virtual_base, hybrid_cfg.lm.size);
+  CompiledKernel kc = compile(loop, {.variant = CodegenVariant::CacheOnly},
+                              hybrid_cfg.lm.virtual_base, hybrid_cfg.lm.size);
+  const RunReport rh = hybrid.run(kh);
+  const RunReport rc = cache.run(kc);
+
+  std::printf("\n%-22s %14s %14s\n", "", "Hybrid", "Cache-based");
+  std::printf("%-22s %14llu %14llu\n", "Cycles",
+              static_cast<unsigned long long>(rh.cycles()),
+              static_cast<unsigned long long>(rc.cycles()));
+  std::printf("%-22s %14.2f %14.2f\n", "AMAT (cycles)", rh.amat, rc.amat);
+  std::printf("%-22s %14.1f %14.1f\n", "L1 hit ratio (%)", rh.l1_hit_ratio, rc.l1_hit_ratio);
+  std::printf("%-22s %14.1f %14.1f\n", "Energy (uJ)", rh.total_energy() / 1e6,
+              rc.total_energy() / 1e6);
+  std::printf("%-22s %13.2fx %14s\n", "Speedup",
+              static_cast<double>(rc.cycles()) / static_cast<double>(rh.cycles()), "1.00x");
+  std::printf("%-22s %14llu %14s\n", "Directory lookups",
+              static_cast<unsigned long long>(rh.activity.dir_lookups), "-");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Scenario: an MG-style multigrid/stencil sweep with many concurrent
+// streams.  Demonstrates:
+//  * the buffer partitioning the compiler picks as the stream count grows,
+//  * the Fig. 9-style phase breakdown (work / synch / control) of the
+//    transformed code,
+//  * why the cache-based machine degrades as streams overflow the
+//    prefetcher history tables.
+#include <cstdio>
+
+#include "compiler/codegen.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+using namespace hm;
+
+namespace {
+
+LoopNest make_stencil(unsigned streams, std::uint64_t iters) {
+  LoopNest loop;
+  loop.name = "stencil" + std::to_string(streams);
+  for (unsigned i = 0; i < streams; ++i) {
+    loop.arrays.push_back({.name = "g" + std::to_string(i),
+                           .base = 0x100'0000 + 0x20'0000 * static_cast<Addr>(i),
+                           .elem_size = 8, .elements = iters});
+    loop.refs.push_back({.name = "g" + std::to_string(i), .array = i,
+                         .pattern = PatternKind::Strided, .stride = 1,
+                         .is_write = i < streams / 4});
+  }
+  loop.iterations = iters;
+  loop.int_ops_per_iter = 2;
+  loop.fp_ops_per_iter = 6;
+  return loop;
+}
+
+}  // namespace
+
+int main() {
+  const MachineConfig mc = MachineConfig::hybrid_coherent();
+  std::printf("%-8s %10s %12s %10s %10s %10s %9s\n", "Streams", "Buf size", "Iters/tile",
+              "Work", "Synch", "Control", "Speedup");
+  for (unsigned streams : {4u, 8u, 16u, 30u}) {
+    const LoopNest loop = make_stencil(streams, 32'768);
+    CompiledKernel kh = compile(loop, {.variant = CodegenVariant::HybridProtocol},
+                                mc.lm.virtual_base, mc.lm.size);
+    CompiledKernel kc = compile(loop, {.variant = CodegenVariant::CacheOnly},
+                                mc.lm.virtual_base, mc.lm.size);
+    System hybrid(MachineConfig::hybrid_coherent());
+    System cache(MachineConfig::cache_based());
+    const RunReport rh = hybrid.run(kh);
+    const RunReport rc = cache.run(kc);
+    const PhaseSplit s = phase_split(rh, rh.cycles());  // fractions of hybrid time
+    std::printf("%-8u %9lluB %12llu %9.1f%% %9.1f%% %9.1f%% %8.2fx\n", streams,
+                static_cast<unsigned long long>(kh.plan().buffer_size),
+                static_cast<unsigned long long>(kh.plan().iters_per_tile),
+                100.0 * s.work, 100.0 * s.synch, 100.0 * s.control,
+                static_cast<double>(rc.cycles()) / static_cast<double>(rh.cycles()));
+  }
+  std::printf("\nMore streams -> smaller LM buffers (32 KB split evenly) and a larger\n"
+              "control/synch share, but also a bigger win over the cache-based machine,\n"
+              "whose prefetch history tables overflow.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "coherence/data_state.hpp"
+
+#include <sstream>
+
+namespace hm {
+
+const char* to_string(ReplState s) {
+  switch (s) {
+    case ReplState::MM: return "MM";
+    case ReplState::LM: return "LM";
+    case ReplState::CM: return "CM";
+    case ReplState::LMCM: return "LM-CM";
+  }
+  return "?";
+}
+
+const char* to_string(ReplEvent e) {
+  switch (e) {
+    case ReplEvent::LMMap: return "LM-map";
+    case ReplEvent::LMUnmap: return "LM-unmap";
+    case ReplEvent::LMWriteback: return "LM-writeback";
+    case ReplEvent::CMAccess: return "CM-access";
+    case ReplEvent::CMEvict: return "CM-evict";
+    case ReplEvent::GuardedStore: return "guarded-store";
+    case ReplEvent::DoubleStore: return "double-store";
+  }
+  return "?";
+}
+
+namespace {
+std::string violation_message(ReplState s, ReplEvent e, const std::string& why) {
+  std::ostringstream oss;
+  oss << "protocol violation: event " << to_string(e) << " in state " << to_string(s) << ": " << why;
+  return oss.str();
+}
+}  // namespace
+
+ProtocolViolation::ProtocolViolation(ReplState s, ReplEvent e, const std::string& why)
+    : std::logic_error(violation_message(s, e, why)), state(s), event(e) {}
+
+bool DataStateMachine::legal(ReplEvent event) const {
+  switch (state_) {
+    case ReplState::MM:
+      // No replicas: a map or a cache access creates the first one.
+      return event == ReplEvent::LMMap || event == ReplEvent::CMAccess;
+    case ReplState::LM:
+      switch (event) {
+        case ReplEvent::LMUnmap:       // buffer reused, chunk back to MM-only
+        case ReplEvent::LMWriteback:   // dma-put; stays mapped (no state change)
+        case ReplEvent::GuardedStore:  // diverted to the LM by the directory
+        case ReplEvent::DoubleStore:   // creates the identical cache replica
+          return true;
+        case ReplEvent::CMAccess:
+          // An unguarded SM access to LM-mapped data: the compiler must never
+          // emit it (it only leaves accesses unguarded when it proved no
+          // aliasing).  Illegal.
+          return false;
+        default:
+          return false;
+      }
+    case ReplState::CM:
+      return event == ReplEvent::CMEvict || event == ReplEvent::CMAccess ||
+             event == ReplEvent::LMMap;
+    case ReplState::LMCM:
+      switch (event) {
+        case ReplEvent::LMWriteback:  // dma-put invalidates the cache copy
+        case ReplEvent::CMEvict:      // cache replacement leaves the LM copy
+        case ReplEvent::GuardedStore: // LM copy becomes strictly newer
+        case ReplEvent::DoubleStore:  // both copies updated
+          return true;
+        case ReplEvent::LMUnmap:
+          // Legal only when the copies are identical: the programming model
+          // guarantees a modified LM buffer is written back before reuse.
+          return validity_ == Validity::Identical;
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+void DataStateMachine::apply(ReplEvent event) {
+  if (!legal(event)) {
+    std::string why = "transition not in Fig. 6";
+    if (state_ == ReplState::LM && event == ReplEvent::CMAccess)
+      why = "unguarded SM access to data mapped in the LM";
+    if (state_ == ReplState::LMCM && event == ReplEvent::LMUnmap)
+      why = "buffer reused while the LM copy held unsaved modifications";
+    throw ProtocolViolation(state_, event, why);
+  }
+
+  switch (state_) {
+    case ReplState::MM:
+      state_ = (event == ReplEvent::LMMap) ? ReplState::LM : ReplState::CM;
+      validity_ = Validity::Single;
+      break;
+
+    case ReplState::LM:
+      switch (event) {
+        case ReplEvent::LMUnmap:
+          state_ = ReplState::MM;
+          validity_ = Validity::Single;
+          break;
+        case ReplEvent::LMWriteback:
+        case ReplEvent::GuardedStore:
+          break;  // still a single LM replica
+        case ReplEvent::DoubleStore:
+          // stsm places an identical copy in the cache (§3.4.1).
+          state_ = ReplState::LMCM;
+          validity_ = Validity::Identical;
+          break;
+        default: break;
+      }
+      break;
+
+    case ReplState::CM:
+      switch (event) {
+        case ReplEvent::CMEvict:
+          state_ = ReplState::MM;
+          break;
+        case ReplEvent::CMAccess:
+          break;
+        case ReplEvent::LMMap:
+          // Coherent dma-get copied the cached version: identical replicas.
+          state_ = ReplState::LMCM;
+          validity_ = Validity::Identical;
+          break;
+        default: break;
+      }
+      break;
+
+    case ReplState::LMCM:
+      switch (event) {
+        case ReplEvent::LMWriteback:
+          // The dma-put invalidates the cache version and transfers the LM
+          // version: the valid copy was evicted (invariant I2).
+          state_ = ReplState::LM;
+          validity_ = Validity::Single;
+          break;
+        case ReplEvent::CMEvict:
+          // The cache line is replaced.  If the copies were identical this
+          // is harmless; if the LM was valid, the invalid copy is exactly
+          // the one discarded (invariant I2).
+          state_ = ReplState::LM;
+          validity_ = Validity::Single;
+          break;
+        case ReplEvent::LMUnmap:
+          state_ = ReplState::CM;
+          validity_ = Validity::Single;
+          break;
+        case ReplEvent::GuardedStore:
+          validity_ = Validity::LmValid;
+          break;
+        case ReplEvent::DoubleStore:
+          validity_ = Validity::Identical;
+          break;
+        default: break;
+      }
+      break;
+  }
+}
+
+}  // namespace hm

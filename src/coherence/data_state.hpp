@@ -1,0 +1,91 @@
+// Executable version of the paper's replication state diagram (§3.4, Fig. 6).
+//
+// The diagram is conceptual in the paper ("it is not implemented in
+// hardware"); here it is an executable checker.  Tests drive it directly and
+// the integration suite replays simulator event streams through it to verify
+// the two correctness invariants of §3.4:
+//
+//  I1  whenever data is replicated (LM-CM), either the copies are identical
+//      or the LM copy is the valid (most recent) one — never the cache copy;
+//  I2  data is evicted to main memory only from single-replica states (LM or
+//      CM), and when leaving LM-CM the invalid copy is the one discarded
+//      (unless both are identical, in which case either may go).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hm {
+
+/// Replication states of a piece of data (Fig. 6).
+enum class ReplState : std::uint8_t {
+  MM,    ///< only in main memory
+  LM,    ///< one replica, in the local memory
+  CM,    ///< one replica, in the cache hierarchy
+  LMCM,  ///< replicated in the LM and the cache hierarchy
+};
+
+/// Events that move data between replication states.
+enum class ReplEvent : std::uint8_t {
+  LMMap,        ///< dma-get maps the chunk into an LM buffer
+  LMUnmap,      ///< a dma-get overwrites the buffer holding the chunk
+  LMWriteback,  ///< dma-put transfers the chunk to the SM (invalidates cache copy)
+  CMAccess,     ///< a cache line holding the data is placed in the hierarchy
+  CMEvict,      ///< the cache line holding the data is replaced
+  GuardedStore, ///< single guarded store: updates only the LM copy
+  DoubleStore,  ///< guarded store + SM store: updates both copies identically
+};
+
+/// Who currently holds the valid version when two replicas exist.
+enum class Validity : std::uint8_t {
+  Single,     ///< only one replica exists; trivially valid
+  Identical,  ///< both replicas identical, either is valid
+  LmValid,    ///< the LM replica is the valid one
+};
+
+const char* to_string(ReplState s);
+const char* to_string(ReplEvent e);
+
+/// Thrown when an event is illegal in the current state — i.e. the hardware/
+/// software contract of the protocol has been violated (for example a plain
+/// cache access touching data that is mapped to the LM, which the compiler
+/// must never emit; see §3.4.1).
+class ProtocolViolation : public std::logic_error {
+ public:
+  ProtocolViolation(ReplState s, ReplEvent e, const std::string& why);
+  ReplState state;
+  ReplEvent event;
+};
+
+class DataStateMachine {
+ public:
+  DataStateMachine() = default;
+
+  /// Apply @p event; throws ProtocolViolation on an illegal transition.
+  void apply(ReplEvent event);
+
+  /// Whether @p event is legal in the current state.
+  bool legal(ReplEvent event) const;
+
+  ReplState state() const { return state_; }
+  Validity validity() const { return validity_; }
+
+  /// Invariant I1: the cache copy is never the only valid one.
+  bool lm_copy_valid_or_identical() const {
+    return state_ != ReplState::LMCM || validity_ != Validity::Single;
+  }
+
+  /// True when data currently lives only in main memory.
+  bool evicted() const { return state_ == ReplState::MM; }
+
+  void reset() { *this = DataStateMachine{}; }
+
+ private:
+  ReplState state_ = ReplState::MM;
+  Validity validity_ = Validity::Single;
+};
+
+}  // namespace hm

@@ -1,0 +1,45 @@
+// Order-insensitive bandwidth model.
+//
+// A structure with a minimum gap G between request starts serves at most one
+// request per G-cycle bucket.  Requests arrive with non-monotonic timestamps
+// (demand misses at the present, store-buffer drains in the future, prefetch
+// fills in between), so a single "next free" register would charge phantom
+// queueing; this pool books per-bucket slots instead, like an out-of-order
+// scheduler's issue slots.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hm {
+
+class BandwidthPool {
+ public:
+  /// @p gap: minimum cycles between request starts (0 = infinite bandwidth).
+  explicit BandwidthPool(Cycle gap, std::size_t window = 16384)
+      : gap_(gap), ring_(window, kNoCycle) {}
+
+  /// Book the first free slot at or after @p when; returns the start cycle.
+  Cycle book(Cycle when) {
+    if (gap_ == 0) return when;
+    for (Cycle bucket = when / gap_;; ++bucket) {
+      Cycle& slot = ring_[static_cast<std::size_t>(bucket % ring_.size())];
+      if (slot != bucket) {  // free or stale (older epoch): claim it
+        slot = bucket;
+        return std::max(when, bucket * gap_);
+      }
+    }
+  }
+
+  void reset() { std::fill(ring_.begin(), ring_.end(), kNoCycle); }
+
+  Cycle gap() const { return gap_; }
+
+ private:
+  Cycle gap_;
+  std::vector<Cycle> ring_;
+};
+
+}  // namespace hm

@@ -1,0 +1,73 @@
+// Small bit-manipulation helpers used by caches, the coherence directory and
+// the address-generation unit.  All are constexpr and branch-light; they sit
+// on the simulated critical path (called once per simulated memory access).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace hm {
+
+/// True iff @p v is a non-zero power of two.
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)).  @p v must be non-zero.
+constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  assert(is_pow2(v));
+  return log2_floor(v);
+}
+
+/// Round @p v down to a multiple of the power-of-two @p align.
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return v & ~(align - 1);
+}
+
+/// Round @p v up to a multiple of the power-of-two @p align.
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Mask selecting the low @p bits bits.
+constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// The paper's directory decomposes an address into a base and an offset with
+/// two AND masks derived from the LM buffer size (§3.2, Fig. 4).  These two
+/// helpers are that hardware.
+struct AddressMasks {
+  std::uint64_t base_mask = 0;    ///< AND with address -> aligned base
+  std::uint64_t offset_mask = 0;  ///< AND with address -> offset inside buffer
+
+  /// Configure for a power-of-two buffer size, mirroring the memory-mapped
+  /// register write the compiler performs before entering a transformed loop.
+  static constexpr AddressMasks for_buffer_size(Bytes buffer_size) noexcept {
+    assert(is_pow2(buffer_size));
+    AddressMasks m;
+    m.offset_mask = buffer_size - 1;
+    m.base_mask = ~m.offset_mask;
+    return m;
+  }
+
+  constexpr Addr base(Addr a) const noexcept { return a & base_mask; }
+  constexpr Addr offset(Addr a) const noexcept { return a & offset_mask; }
+  /// OR-combine a (buffer-aligned) base with an offset, as the directory's
+  /// address-generation path does on a hit.
+  constexpr Addr combine(Addr base_addr, Addr off) const noexcept {
+    return base_addr | off;
+  }
+};
+
+}  // namespace hm

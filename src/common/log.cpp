@@ -1,0 +1,28 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace hm {
+namespace {
+LogLevel g_level = LogLevel::Off;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace hm

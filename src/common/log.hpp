@@ -1,0 +1,41 @@
+// Minimal leveled logger.  Off by default; tests and examples raise the level
+// to trace protocol events.  Not thread-safe by design: the simulator is
+// single-threaded (the modeled machine is a single core, §4.1 of the paper).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hm {
+
+enum class LogLevel : int {
+  Off = 0,
+  Error = 1,
+  Warn = 2,
+  Info = 3,
+  Debug = 4,
+};
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static void write(LogLevel lvl, const std::string& msg);
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+};
+
+}  // namespace hm
+
+#define HM_LOG(lvl, expr)                                        \
+  do {                                                           \
+    if (::hm::Log::enabled(lvl)) {                               \
+      std::ostringstream hm_log_oss__;                           \
+      hm_log_oss__ << expr;                                      \
+      ::hm::Log::write(lvl, hm_log_oss__.str());                 \
+    }                                                            \
+  } while (0)
+
+#define HM_DEBUG(expr) HM_LOG(::hm::LogLevel::Debug, expr)
+#define HM_INFO(expr) HM_LOG(::hm::LogLevel::Info, expr)
+#define HM_WARN(expr) HM_LOG(::hm::LogLevel::Warn, expr)
+#define HM_ERROR(expr) HM_LOG(::hm::LogLevel::Error, expr)

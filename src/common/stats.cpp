@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+namespace hm {
+
+double safe_ratio(std::uint64_t num, std::uint64_t den, double if_zero) {
+  if (den == 0) return if_zero;
+  return static_cast<double>(num) / static_cast<double>(den);
+}
+
+Counter& StatGroup::counter(std::string_view counter_name) {
+  auto it = counters_.find(counter_name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(counter_name), Counter{}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t StatGroup::value(std::string_view counter_name) const {
+  auto it = counters_.find(counter_name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void StatGroup::reset_all() {
+  for (auto& [name, c] : counters_) c.reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> StatGroup::snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+void Accumulator::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+}  // namespace hm

@@ -1,0 +1,80 @@
+// Lightweight statistics registry.
+//
+// Every hardware structure in the simulator owns a StatGroup and registers
+// named counters in it.  The sim driver snapshots groups between execution
+// phases so the paper's work/synch/control breakdown (Fig. 9) can be
+// reconstructed, and the energy model walks the counters to charge per-event
+// energies (Wattch-style activity-based accounting).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hm {
+
+/// A single monotonically increasing event counter.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  void reset() noexcept { value_ = 0; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Ratio of two counters with a safe default when the denominator is zero.
+double safe_ratio(std::uint64_t num, std::uint64_t den, double if_zero = 0.0);
+
+/// A named collection of counters.  Lookup by name is used only at report /
+/// energy-accounting time, never on the simulated fast path (structures keep
+/// direct Counter references).
+class StatGroup {
+ public:
+  explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+  /// Register (or fetch) a counter under @p counter_name.  The returned
+  /// reference stays valid for the lifetime of the group.
+  Counter& counter(std::string_view counter_name);
+
+  /// Value of a counter, 0 if it was never registered.
+  std::uint64_t value(std::string_view counter_name) const;
+
+  void reset_all();
+
+  const std::string& name() const { return name_; }
+
+  /// Stable snapshot of all (name, value) pairs, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+ private:
+  std::string name_;
+  // std::map keeps references stable under insertion, which the Counter&
+  // contract above requires.
+  std::map<std::string, Counter, std::less<>> counters_;
+};
+
+/// Accumulates min/max/mean of a stream of samples (e.g. per-access latency).
+class Accumulator {
+ public:
+  void add(double sample) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  void reset() noexcept { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hm

@@ -1,0 +1,51 @@
+// Fundamental scalar types shared by every subsystem of the hybrid memory
+// system simulator.
+//
+// The simulator models a 64-bit virtual address space.  A fixed range of that
+// space is reserved for the per-core local memory (LM); everything else is
+// "system memory" (SM): the cache hierarchy plus main memory.  See
+// lm/local_memory.hpp for the range-check logic the paper describes in §2.1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hm {
+
+/// Virtual (and, for the LM, physical) byte address.
+using Addr = std::uint64_t;
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Energy in picojoules.  The Wattch-style model (src/energy) accumulates
+/// per-event energies in this unit.
+using PicoJoule = double;
+
+/// Size of a transfer / structure in bytes.
+using Bytes = std::uint64_t;
+
+/// Invalid / "no address" sentinel.
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/// Invalid cycle sentinel (e.g. "event never happened").
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Kind of memory access, as seen by the memory subsystem.
+enum class AccessType : std::uint8_t {
+  Read,
+  Write,
+};
+
+/// Which physical storage ultimately served (or will serve) an access.
+/// Used both for statistics and for the functional memory image, which must
+/// apply the access to the same copy of the data the timing model chose.
+enum class ServedBy : std::uint8_t {
+  LocalMemory,   ///< the per-core scratchpad
+  CacheL1,       ///< hit in the L1 data cache
+  CacheL2,       ///< hit in L2
+  CacheL3,       ///< hit in L3
+  MainMemory,    ///< missed the whole hierarchy
+};
+
+}  // namespace hm

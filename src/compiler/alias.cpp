@@ -1,0 +1,44 @@
+#include "compiler/alias.hpp"
+
+#include <stdexcept>
+
+namespace hm {
+
+void LoopNest::validate() const {
+  if (iterations == 0) throw std::invalid_argument(name + ": zero iterations");
+  if (refs.empty()) throw std::invalid_argument(name + ": no memory references");
+  for (const MemRef& r : refs) {
+    if (r.array >= arrays.size()) throw std::invalid_argument(name + ": ref targets unknown array");
+    if (r.pattern == PatternKind::Strided && r.stride == 0)
+      throw std::invalid_argument(name + ": strided ref with zero stride");
+  }
+  for (const AliasFact& f : alias_facts) {
+    if (f.ref_a >= refs.size() || f.ref_b >= refs.size())
+      throw std::invalid_argument(name + ": alias fact on unknown ref");
+  }
+}
+
+AliasVerdict AliasOracle::query(unsigned ref_a, unsigned ref_b) const {
+  const LoopNest& loop = *loop_;
+  // Explicit facts first (order-insensitive).
+  for (const AliasFact& f : loop.alias_facts) {
+    if ((f.ref_a == ref_a && f.ref_b == ref_b) || (f.ref_a == ref_b && f.ref_b == ref_a))
+      return f.verdict;
+  }
+
+  const MemRef& a = loop.refs.at(ref_a);
+  const MemRef& b = loop.refs.at(ref_b);
+
+  // A pointer-chase access has an unknown accessible range: the analysis
+  // cannot bound it, so it may alias anything (§3.1: "typically the compiler
+  // is unable to determine what is the accessible address range of a
+  // potentially incoherent access").
+  if (a.pattern == PatternKind::PointerChase || b.pattern == PatternKind::PointerChase)
+    return AliasVerdict::MayAlias;
+
+  // Named-array references: distinct allocations never alias; the same
+  // allocation aliases (two refs walking one array).
+  return a.array == b.array ? AliasVerdict::MayAlias : AliasVerdict::NoAlias;
+}
+
+}  // namespace hm

@@ -1,0 +1,26 @@
+// Alias oracle: the stand-in for the production compiler's alias analysis.
+//
+// The paper used GCC 4.6.3's analysis results to decide which accesses are
+// potentially incoherent.  We reproduce that decision procedure: structural
+// defaults (distinct named arrays do not alias; a pointer-chase reference
+// may alias anything because its accessible range is unknown) overridden by
+// explicit per-pair facts carried in the IR, which model the cases where
+// the real analysis succeeds or fails.
+#pragma once
+
+#include "compiler/ir.hpp"
+
+namespace hm {
+
+class AliasOracle {
+ public:
+  explicit AliasOracle(const LoopNest& loop) : loop_(&loop) {}
+
+  /// Verdict for the pair of references (a, b) of the loop.
+  AliasVerdict query(unsigned ref_a, unsigned ref_b) const;
+
+ private:
+  const LoopNest* loop_;
+};
+
+}  // namespace hm

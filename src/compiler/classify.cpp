@@ -1,0 +1,65 @@
+#include "compiler/classify.hpp"
+
+namespace hm {
+
+Classification classify(const LoopNest& loop, const AliasOracle& oracle, unsigned max_buffers) {
+  loop.validate();
+  Classification out;
+  out.refs.resize(loop.refs.size());
+
+  // Pass 1: strided references become regular, in program order, up to the
+  // buffer cap; the overflow is demoted to irregular (not mapped).
+  for (unsigned i = 0; i < loop.refs.size(); ++i) {
+    if (loop.refs[i].pattern != PatternKind::Strided) continue;
+    if (out.num_regular < max_buffers) {
+      out.refs[i].cls = RefClass::Regular;
+      out.refs[i].lm_buffer = static_cast<int>(out.num_regular);
+      ++out.num_regular;
+    } else {
+      out.refs[i].cls = RefClass::Irregular;
+      ++out.demoted_regular;
+      ++out.num_irregular;
+    }
+  }
+
+  // Pass 2: non-strided references are irregular unless they (may) alias a
+  // reference that was actually mapped to the LM.
+  for (unsigned i = 0; i < loop.refs.size(); ++i) {
+    const MemRef& r = loop.refs[i];
+    if (r.pattern == PatternKind::Strided) continue;
+
+    bool may_alias_regular = false;
+    bool may_alias_readonly_regular = false;
+    for (unsigned j = 0; j < loop.refs.size(); ++j) {
+      if (out.refs[j].cls != RefClass::Regular) continue;
+      const AliasVerdict v = oracle.query(i, j);
+      if (v == AliasVerdict::NoAlias) continue;
+      may_alias_regular = true;
+      // Read-only buffer: no write-back will be performed for it (the tiling
+      // optimization), so a guarded store alone would lose the update.
+      if (!loop.array_written_by_strided(loop.refs[j].array)) may_alias_readonly_regular = true;
+    }
+
+    if (!may_alias_regular) {
+      out.refs[i].cls = RefClass::Irregular;
+      ++out.num_irregular;
+      continue;
+    }
+
+    out.refs[i].cls = RefClass::PotentiallyIncoherent;
+    ++out.num_potentially_incoherent;
+    if (r.is_write) {
+      // The double store is required unless the compiler can ensure the
+      // aliasing is only with data that will be written back.  A pointer
+      // chase has an unbounded accessible range, so the compiler can never
+      // ensure it (§3.1: "the compiler almost always generates a double
+      // store").
+      out.refs[i].needs_double_store =
+          may_alias_readonly_regular || r.pattern == PatternKind::PointerChase;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace hm

@@ -1,0 +1,48 @@
+// Phase 1 of the compiler support (§3.1): classification of memory
+// references into regular, irregular and potentially incoherent, plus the
+// double-store decision for potentially incoherent writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/alias.hpp"
+#include "compiler/ir.hpp"
+
+namespace hm {
+
+enum class RefClass : std::uint8_t {
+  Regular,               ///< strided: mapped to the LM
+  Irregular,             ///< non-strided, provably no alias with regulars: SM
+  PotentiallyIncoherent, ///< non-strided, may alias a regular: guarded
+};
+
+struct ClassifiedRef {
+  RefClass cls = RefClass::Irregular;
+  /// For potentially incoherent writes: whether the compiler must emit the
+  /// double store (it could not prove the aliasing avoids read-only LM
+  /// buffers, §3.1).
+  bool needs_double_store = false;
+  /// LM buffer index for Regular refs (-1 otherwise).
+  int lm_buffer = -1;
+};
+
+struct Classification {
+  std::vector<ClassifiedRef> refs;
+  unsigned num_regular = 0;               ///< refs mapped to LM buffers
+  unsigned num_irregular = 0;
+  unsigned num_potentially_incoherent = 0;
+  unsigned demoted_regular = 0;           ///< strided refs beyond the buffer cap
+
+  unsigned guarded_refs() const { return num_potentially_incoherent; }
+  unsigned total_refs() const { return static_cast<unsigned>(refs.size()); }
+};
+
+/// Classify every reference of @p loop.  @p max_buffers is the directory
+/// entry count: at most that many strided references are mapped to the LM;
+/// the rest are demoted to irregular (served by the caches), as §3.2
+/// prescribes for loops with more than 32 regular references.
+Classification classify(const LoopNest& loop, const AliasOracle& oracle,
+                        unsigned max_buffers = 32);
+
+}  // namespace hm

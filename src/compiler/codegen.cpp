@@ -1,0 +1,380 @@
+#include "compiler/codegen.hpp"
+
+#include <stdexcept>
+
+namespace hm {
+
+namespace {
+// Register-window allocation: four rotating windows of 14 registers give
+// cross-iteration ILP without exceeding the 64-register namespace.
+constexpr unsigned kWindowRegs = 14;
+constexpr unsigned kWindows = 4;
+constexpr unsigned kLoadRegs = 8;  // loads cycle over the first 8 of a window
+
+std::uint8_t window_base(std::uint64_t iter) {
+  return static_cast<std::uint8_t>(1 + (iter % kWindows) * kWindowRegs);
+}
+}  // namespace
+
+CompiledKernel::CompiledKernel(LoopNest loop, Classification cls, TilePlan plan,
+                               CodegenOptions opt)
+    : loop_(std::move(loop)), cls_(std::move(cls)), plan_(std::move(plan)), opt_(opt) {
+  tiled_ = opt_.variant != CodegenVariant::CacheOnly && !plan_.buffers.empty();
+
+  // Static code layout: distinct pcs per reference and role, so the
+  // IP-indexed prefetchers see one stream per strided reference.
+  Addr pc = opt_.code_base;
+  const auto next_pc = [&pc] { Addr p = pc; pc += 4; return p; };
+  load_pc_.resize(loop_.refs.size());
+  store_pc_.resize(loop_.refs.size());
+  extra_store_pc_.resize(loop_.refs.size());
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    load_pc_[i] = next_pc();
+    store_pc_[i] = next_pc();
+    extra_store_pc_[i] = next_pc();
+  }
+  alu_pc_base_ = next_pc();
+  pc += 4 * (loop_.int_ops_per_iter + loop_.fp_ops_per_iter);
+  branch_pc_ = next_pc();
+  data_branch_pc_ = next_pc();
+
+  reset();
+}
+
+void CompiledKernel::reset() {
+  state_ = State::Init;
+  tile_ = 0;
+  iter_ = 0;
+  queue_.clear();
+  queue_pos_ = 0;
+  ref_rng_.clear();
+  ref_rng_.reserve(loop_.refs.size());
+  for (const MemRef& r : loop_.refs)
+    ref_rng_.emplace_back(r.irregular.seed ^ opt_.global_seed);
+  branch_rng_.reseed(0xB5A3C9E7u ^ opt_.global_seed);
+}
+
+std::uint64_t CompiledKernel::store_value(unsigned ref, std::uint64_t iter) {
+  // SplitMix64-style mix of (ref, iter): deterministic and collision-poor.
+  std::uint64_t z = (static_cast<std::uint64_t>(ref) << 48) ^ iter ^ 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t CompiledKernel::all_tags_mask() const {
+  std::uint32_t mask = 0;
+  for (unsigned b = 0; b < plan_.buffers.size(); ++b) mask |= (1u << (b % 32));
+  return mask;
+}
+
+Addr CompiledKernel::regular_address(unsigned ref, std::uint64_t global_iter) const {
+  const MemRef& r = loop_.refs[ref];
+  const ArrayDecl& arr = loop_.array_of(r);
+  const std::uint64_t s = static_cast<std::uint64_t>(r.stride < 0 ? -r.stride : r.stride);
+
+  if (tiled_ && cls_.refs[ref].cls == RefClass::Regular) {
+    // LM buffer address: buffer base + offset inside the current chunk.
+    const BufferPlan& bp = plan_.buffers[static_cast<unsigned>(cls_.refs[ref].lm_buffer)];
+    const std::uint64_t local = global_iter % plan_.iters_per_tile;
+    return bp.lm_base + local * s * arr.elem_size;
+  }
+  // SM address (cache variant, or a demoted strided reference).
+  return arr.base + global_iter * s * arr.elem_size;
+}
+
+Addr CompiledKernel::irregular_address(unsigned ref, std::uint64_t global_iter, Rng& rng) const {
+  const MemRef& r = loop_.refs[ref];
+  const ArrayDecl& arr = loop_.array_of(r);
+  const IrregularSpec& spec = r.irregular;
+
+  // The same draws happen in every variant (same RNG state), so the address
+  // streams are identical and runs are directly comparable.
+  bool in_chunk = spec.in_chunk_fraction > 0.0 && rng.chance(spec.in_chunk_fraction);
+  std::uint64_t t = 0;
+  if (in_chunk && plan_.iters_per_tile > 0 && plan_.num_tiles > 0) {
+    t = std::min(global_iter / plan_.iters_per_tile, plan_.num_tiles - 1);
+    if (t * plan_.iters_per_tile >= arr.elements) in_chunk = false;  // array shorter than loop
+  } else {
+    in_chunk = false;
+  }
+  std::uint64_t elem;
+  if (in_chunk) {
+    // Land inside the chunk of the target array covered by the current tile
+    // (tile geometry comes from the plan even in the cache variant so the
+    // stream does not depend on the machine).
+    const std::uint64_t chunk_elems =
+        std::min(plan_.tile_iterations(t), arr.elements - t * plan_.iters_per_tile);
+    elem = t * plan_.iters_per_tile + rng.below(std::max<std::uint64_t>(chunk_elems, 1));
+  } else if (spec.hot_bytes > 0) {
+    const std::uint64_t hot_elems = std::max<std::uint64_t>(spec.hot_bytes / arr.elem_size, 1);
+    elem = rng.below(std::min(hot_elems, arr.elements));
+  } else {
+    elem = rng.below(arr.elements);
+  }
+  return arr.base + elem * arr.elem_size;
+}
+
+void CompiledKernel::push_mem(OpKind kind, ExecPhase phase, Addr pc, Addr addr,
+                              std::uint8_t dst, std::uint8_t src, unsigned ref,
+                              std::uint64_t iter) {
+  MicroOp op;
+  op.kind = kind;
+  op.phase = phase;
+  op.pc = pc;
+  op.addr = addr;
+  op.dst = dst;
+  op.src1 = src;
+  if (opt_.functional_stores &&
+      (kind == OpKind::Store || kind == OpKind::GuardedStore)) {
+    op.value = store_value(ref, iter);
+    op.has_value = true;
+  }
+  queue_.push_back(op);
+}
+
+void CompiledKernel::emit_init() {
+  if (!tiled_) return;
+  MicroOp op;
+  op.kind = OpKind::DirConfig;
+  op.phase = ExecPhase::Control;
+  op.pc = opt_.code_base - 4;
+  op.dir_buffer_size = plan_.buffer_size;
+  queue_.push_back(op);
+}
+
+void CompiledKernel::emit_control(std::uint64_t tile) {
+  // Per buffer: write the previous chunk back (if dirty data can exist),
+  // then fetch this tile's chunk.  Two INT ops per DMA command model the
+  // address computations of the MAP statements.
+  for (unsigned b = 0; b < plan_.buffers.size(); ++b) {
+    const BufferPlan& bp = plan_.buffers[b];
+    const bool writeback = bp.writeback || opt_.disable_readonly_opt;
+
+    for (int k = 0; k < 2; ++k) {
+      MicroOp alu;
+      alu.kind = OpKind::IntAlu;
+      alu.phase = ExecPhase::Control;
+      alu.pc = alu_pc_base_;
+      alu.dst = static_cast<std::uint8_t>(60 + (k % 2));
+      queue_.push_back(alu);
+    }
+
+    if (tile > 0 && writeback) {
+      MicroOp put;
+      put.kind = OpKind::DmaPut;
+      put.phase = ExecPhase::Control;
+      put.pc = opt_.code_base - 8;
+      put.dma_lm = bp.lm_base;
+      put.dma_sm = plan_.chunk_sm_base(loop_, b, tile - 1);
+      put.dma_size = plan_.chunk_bytes(b, tile - 1);
+      put.dma_tag = static_cast<std::uint8_t>(b % 32);
+      queue_.push_back(put);
+    }
+
+    // Even write-only chunks are fetched: a partial modification followed by
+    // a write-back must not clobber unmodified SM data with garbage (§2.2).
+    MicroOp get;
+    get.kind = OpKind::DmaGet;
+    get.phase = ExecPhase::Control;
+    get.pc = opt_.code_base - 12;
+    get.dma_sm = plan_.chunk_sm_base(loop_, b, tile);
+    get.dma_lm = bp.lm_base;
+    get.dma_size = plan_.chunk_bytes(b, tile);
+    get.dma_tag = static_cast<std::uint8_t>(b % 32);
+    queue_.push_back(get);
+  }
+}
+
+void CompiledKernel::emit_synch() {
+  MicroOp op;
+  op.kind = OpKind::DmaSynch;
+  op.phase = ExecPhase::Synch;
+  op.pc = opt_.code_base - 16;
+  op.synch_mask = all_tags_mask();
+  queue_.push_back(op);
+}
+
+void CompiledKernel::emit_work_iteration(std::uint64_t g) {
+  const std::uint8_t base = window_base(g);
+  unsigned load_slot = 0;
+  std::uint8_t last_loaded = 0;
+
+  // Loads, in reference order.
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    const MemRef& r = loop_.refs[i];
+    if (r.is_write) continue;
+    const RefClass cls = cls_.refs[i].cls;
+    const std::uint8_t dst = static_cast<std::uint8_t>(base + (load_slot++ % kLoadRegs));
+    last_loaded = dst;
+
+    Addr addr;
+    OpKind kind = OpKind::Load;
+    if (r.pattern == PatternKind::Strided) {
+      addr = regular_address(i, g);
+    } else {
+      addr = irregular_address(i, g, ref_rng_[i]);
+      if (cls == RefClass::PotentiallyIncoherent && tiled_ &&
+          opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
+        kind = OpKind::GuardedLoad;
+      }
+    }
+    push_mem(kind, ExecPhase::Work, load_pc_[i], addr, dst, 0, i, g);
+  }
+
+  // Compute chain: INT then FP ops, each depending on a loaded value and on
+  // the previous ALU result (a realistic dependence spine).
+  std::uint8_t prev = last_loaded;
+  unsigned alu_slot = 0;
+  const auto emit_alu = [&](OpKind kind) {
+    MicroOp op;
+    op.kind = kind;
+    op.phase = ExecPhase::Work;
+    op.pc = alu_pc_base_ + 4 * alu_slot;
+    op.dst = static_cast<std::uint8_t>(base + kLoadRegs + (alu_slot % (kWindowRegs - kLoadRegs)));
+    op.src1 = last_loaded != 0 ? static_cast<std::uint8_t>(base + (alu_slot % kLoadRegs)) : 0;
+    op.src2 = prev;
+    prev = op.dst;
+    ++alu_slot;
+    queue_.push_back(op);
+  };
+  for (unsigned k = 0; k < loop_.int_ops_per_iter; ++k) emit_alu(OpKind::IntAlu);
+  for (unsigned k = 0; k < loop_.fp_ops_per_iter; ++k) emit_alu(OpKind::FpAlu);
+  const std::uint8_t computed = prev != 0 ? prev : last_loaded;
+
+  // Stores, in reference order.
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    const MemRef& r = loop_.refs[i];
+    if (!r.is_write) continue;
+    const ClassifiedRef& cr = cls_.refs[i];
+
+    Addr addr;
+    OpKind kind = OpKind::Store;
+    bool double_store = false;
+    if (r.pattern == PatternKind::Strided) {
+      addr = regular_address(i, g);
+    } else {
+      addr = irregular_address(i, g, ref_rng_[i]);
+      if (cr.cls == RefClass::PotentiallyIncoherent && tiled_ &&
+          opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
+        kind = OpKind::GuardedStore;
+        double_store = cr.needs_double_store && !opt_.disable_readonly_opt &&
+                       !opt_.suppress_double_store;
+      }
+    }
+    push_mem(kind, ExecPhase::Work, store_pc_[i], addr, 0, computed, i, g);
+    if (double_store) {
+      // The conventional store of the double store: same operands, same SM
+      // address; always updates the copy in the SM (§3.1).
+      push_mem(OpKind::Store, ExecPhase::Work, extra_store_pc_[i], addr, 0, computed, i, g);
+    }
+  }
+
+  // Loop back-edge: predictable, taken except when leaving the tile.
+  const std::uint64_t tile_for_g = tiled_ ? g / plan_.iters_per_tile : 0;
+  const std::uint64_t tile_end =
+      tiled_ ? std::min((tile_for_g + 1) * plan_.iters_per_tile, loop_.iterations)
+             : loop_.iterations;
+  MicroOp br;
+  br.kind = OpKind::Branch;
+  br.phase = ExecPhase::Work;
+  br.pc = branch_pc_;
+  br.taken = (g + 1) < tile_end;
+  br.target = opt_.code_base;
+  queue_.push_back(br);
+
+  // Optional data-dependent branch (hard to predict by construction).
+  if (loop_.data_branch_fraction > 0.0 && branch_rng_.chance(loop_.data_branch_fraction)) {
+    MicroOp db;
+    db.kind = OpKind::Branch;
+    db.phase = ExecPhase::Work;
+    db.pc = data_branch_pc_;
+    db.taken = branch_rng_.chance(0.5);
+    db.target = opt_.code_base + 64;
+    db.src1 = computed;
+    queue_.push_back(db);
+  }
+}
+
+void CompiledKernel::emit_epilogue() {
+  for (unsigned b = 0; b < plan_.buffers.size(); ++b) {
+    const BufferPlan& bp = plan_.buffers[b];
+    if (!(bp.writeback || opt_.disable_readonly_opt)) continue;
+    MicroOp put;
+    put.kind = OpKind::DmaPut;
+    put.phase = ExecPhase::Control;
+    put.pc = opt_.code_base - 8;
+    put.dma_lm = bp.lm_base;
+    put.dma_sm = plan_.chunk_sm_base(loop_, b, plan_.num_tiles - 1);
+    put.dma_size = plan_.chunk_bytes(b, plan_.num_tiles - 1);
+    put.dma_tag = static_cast<std::uint8_t>(b % 32);
+    queue_.push_back(put);
+  }
+}
+
+void CompiledKernel::emit_epilogue_synch() { emit_synch(); }
+
+void CompiledKernel::refill() {
+  queue_.clear();
+  queue_pos_ = 0;
+
+  while (queue_.empty()) {
+    switch (state_) {
+      case State::Init:
+        emit_init();
+        state_ = tiled_ ? State::Control : State::Work;
+        break;
+      case State::Control:
+        emit_control(tile_);
+        state_ = State::Synch;
+        break;
+      case State::Synch:
+        emit_synch();
+        state_ = State::Work;
+        break;
+      case State::Work: {
+        if (iter_ >= loop_.iterations) {
+          state_ = tiled_ ? State::Epilogue : State::Done;
+          break;
+        }
+        emit_work_iteration(iter_);
+        ++iter_;
+        if (tiled_ && iter_ < loop_.iterations && iter_ % plan_.iters_per_tile == 0) {
+          ++tile_;
+          state_ = State::Control;
+        }
+        break;
+      }
+      case State::Epilogue:
+        emit_epilogue();
+        state_ = State::EpilogueSynch;
+        break;
+      case State::EpilogueSynch:
+        emit_epilogue_synch();
+        state_ = State::Done;
+        break;
+      case State::Done:
+        return;
+    }
+  }
+}
+
+bool CompiledKernel::next(MicroOp& op) {
+  if (queue_pos_ >= queue_.size()) {
+    refill();
+    if (queue_pos_ >= queue_.size()) return false;
+  }
+  op = queue_[queue_pos_++];
+  return true;
+}
+
+CompiledKernel compile(const LoopNest& loop, const CodegenOptions& opt,
+                       Addr lm_base, Bytes lm_size, unsigned max_buffers) {
+  loop.validate();
+  AliasOracle oracle(loop);
+  Classification cls = classify(loop, oracle, max_buffers);
+  TilePlan plan = plan_tiling(loop, cls, lm_base, lm_size);
+  return CompiledKernel(loop, std::move(cls), std::move(plan), opt);
+}
+
+}  // namespace hm

@@ -1,0 +1,110 @@
+// Loop-nest intermediate representation.
+//
+// The paper's compiler support (§3.1) operates on computational loops whose
+// memory references are classified by access pattern and aliasing hazards.
+// This IR captures exactly the information those three phases need:
+//
+//  * the arrays the loop touches (SM allocations),
+//  * one MemRef per static memory reference, with its access pattern
+//    (strided / indirect / pointer-chase) and direction (read or write),
+//  * alias facts, standing in for the verdicts of GCC's alias analysis
+//    (the paper checked GCC 4.6.3's per-reference outcomes and hand-
+//    annotated the benchmarks; our IR carries the same information),
+//  * the loop's compute intensity (INT/FP ops per iteration), which drives
+//    how well memory latency is hidden.
+//
+// Non-strided references also carry an IrregularSpec describing the address
+// distribution they generate at run time — the workload's "data-dependent"
+// part, made deterministic through a per-reference RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hm {
+
+/// Outcome of the alias-analysis function (§3.1 phase 1): "the pointers
+/// alias, the pointers do not alias or the pointers may alias".
+enum class AliasVerdict : std::uint8_t {
+  NoAlias,
+  MustAlias,
+  MayAlias,
+};
+
+struct ArrayDecl {
+  std::string name;
+  Addr base = 0;            ///< SM base address (buffer-size aligned by convention)
+  Bytes elem_size = 8;
+  std::uint64_t elements = 0;
+  Bytes size_bytes() const { return elem_size * elements; }
+  Addr end() const { return base + size_bytes(); }
+};
+
+enum class PatternKind : std::uint8_t {
+  Strided,       ///< predictable, constant stride: candidate for the LM
+  Indirect,      ///< a[idx[i]]-style: target array known, index data-dependent
+  PointerChase,  ///< *ptr-style: accessible range unknown to the compiler
+};
+
+/// Run-time address distribution of a non-strided reference.
+struct IrregularSpec {
+  /// Fraction of dynamic accesses that land inside the chunk of the target
+  /// array currently mapped to the LM (drives directory hit rate for
+  /// potentially incoherent references).
+  double in_chunk_fraction = 0.0;
+  /// When non-zero, accesses concentrate uniformly on the first hot_bytes of
+  /// the target array (a reused working set — drives cache hit behaviour).
+  Bytes hot_bytes = 0;
+  /// Per-reference RNG seed so every codegen variant of the same loop
+  /// replays the identical address stream.
+  std::uint64_t seed = 1;
+};
+
+struct MemRef {
+  std::string name;
+  unsigned array = 0;       ///< index into LoopNest::arrays (target array)
+  PatternKind pattern = PatternKind::Strided;
+  std::int64_t stride = 1;  ///< elements advanced per iteration (strided only)
+  bool is_write = false;
+  IrregularSpec irregular{};
+};
+
+/// Explicit alias-analysis verdict for a pair of references; overrides the
+/// oracle's structural default.
+struct AliasFact {
+  unsigned ref_a = 0;
+  unsigned ref_b = 0;
+  AliasVerdict verdict = AliasVerdict::MayAlias;
+};
+
+struct LoopNest {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<MemRef> refs;
+  std::uint64_t iterations = 0;
+  unsigned int_ops_per_iter = 1;
+  unsigned fp_ops_per_iter = 0;
+  /// Fraction of iterations carrying a data-dependent (hard-to-predict)
+  /// conditional branch in addition to the loop back-edge.
+  double data_branch_fraction = 0.0;
+  std::vector<AliasFact> alias_facts;
+
+  const ArrayDecl& array_of(const MemRef& r) const { return arrays.at(r.array); }
+  /// True when any *strided* reference writes to @p array_idx.  This is the
+  /// compiler's view of whether the LM buffer holding a chunk of that array
+  /// is dirty and needs a write-back (§3.1's read-only optimization): only
+  /// statically known LM stores count — whether a guarded store will hit the
+  /// buffer is exactly what the compiler cannot know, which is why the
+  /// double store exists.
+  bool array_written_by_strided(unsigned array_idx) const {
+    for (const MemRef& r : refs)
+      if (r.array == array_idx && r.is_write && r.pattern == PatternKind::Strided) return true;
+    return false;
+  }
+  void validate() const;
+};
+
+}  // namespace hm

@@ -1,0 +1,90 @@
+#include "compiler/transform.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace hm {
+
+Addr TilePlan::chunk_sm_base(const LoopNest& loop, unsigned b, std::uint64_t t) const {
+  const BufferPlan& bp = buffers.at(b);
+  const ArrayDecl& arr = loop.arrays.at(bp.array);
+  const std::uint64_t elems_per_tile =
+      iters_per_tile * static_cast<std::uint64_t>(bp.stride < 0 ? -bp.stride : bp.stride);
+  return arr.base + t * elems_per_tile * bp.elem_size;
+}
+
+Bytes TilePlan::chunk_bytes(unsigned b, std::uint64_t t) const {
+  const BufferPlan& bp = buffers.at(b);
+  const std::uint64_t iters = tile_iterations(t);
+  const std::uint64_t s = static_cast<std::uint64_t>(bp.stride < 0 ? -bp.stride : bp.stride);
+  return iters * s * bp.elem_size;
+}
+
+TilePlan plan_tiling(const LoopNest& loop, const Classification& cls,
+                     Addr lm_base, Bytes lm_size) {
+  TilePlan plan;
+  plan.total_iterations = loop.iterations;
+
+  if (cls.num_regular == 0) {
+    // Nothing mapped: degenerate plan, one "tile" covering the whole loop.
+    plan.buffer_size = 0;
+    plan.iters_per_tile = loop.iterations;
+    plan.num_tiles = 1;
+    return plan;
+  }
+
+  // All buffers are equally sized; pick the largest power of two that lets
+  // num_regular buffers fit in the LM.
+  Bytes buffer_size = lm_size / cls.num_regular;
+  while (!is_pow2(buffer_size)) buffer_size &= buffer_size - 1;  // round down to pow2
+  if (buffer_size == 0) throw std::invalid_argument(loop.name + ": too many buffers for the LM");
+  plan.buffer_size = buffer_size;
+
+  // Geometry restriction: every mapped reference must advance the same
+  // number of bytes per iteration, so every buffer's chunk advances exactly
+  // buffer_size bytes per tile and chunk bases stay buffer-aligned.
+  Bytes bytes_per_iter = 0;
+  for (unsigned i = 0; i < loop.refs.size(); ++i) {
+    if (cls.refs[i].cls != RefClass::Regular) continue;
+    const MemRef& r = loop.refs[i];
+    const ArrayDecl& arr = loop.array_of(r);
+    const std::uint64_t s = static_cast<std::uint64_t>(r.stride < 0 ? -r.stride : r.stride);
+    const Bytes bpi = s * arr.elem_size;
+    if (bytes_per_iter == 0) bytes_per_iter = bpi;
+    if (bpi != bytes_per_iter)
+      throw std::invalid_argument(loop.name +
+                                  ": mapped references advance different bytes/iteration; "
+                                  "chunks would lose buffer alignment");
+    if (arr.base % buffer_size != 0)
+      throw std::invalid_argument(loop.name + ": array " + arr.name +
+                                  " base not aligned to the LM buffer size");
+  }
+  if (buffer_size % bytes_per_iter != 0)
+    throw std::invalid_argument(loop.name + ": buffer size not a multiple of bytes/iteration");
+
+  plan.iters_per_tile = buffer_size / bytes_per_iter;
+  plan.num_tiles = (loop.iterations + plan.iters_per_tile - 1) / plan.iters_per_tile;
+
+  unsigned next_buffer = 0;
+  for (unsigned i = 0; i < loop.refs.size(); ++i) {
+    if (cls.refs[i].cls != RefClass::Regular) continue;
+    const MemRef& r = loop.refs[i];
+    const ArrayDecl& arr = loop.array_of(r);
+    BufferPlan bp;
+    bp.ref = i;
+    bp.array = r.array;
+    bp.lm_base = lm_base + static_cast<Bytes>(next_buffer) * buffer_size;
+    bp.stride = r.stride;
+    bp.elem_size = arr.elem_size;
+    // Write back the buffer iff its array is written anywhere in the loop
+    // (one array may be read by one ref and written by another).
+    bp.writeback = loop.array_written_by_strided(r.array);
+    plan.buffers.push_back(bp);
+    ++next_buffer;
+  }
+
+  return plan;
+}
+
+}  // namespace hm

@@ -1,0 +1,59 @@
+// Phase 2 of the compiler support (§3.1): the tiling transformation that
+// turns the loop into the two-level control / synch / work structure of
+// Fig. 2.
+//
+// The compiler partitions the LM into as many equally sized buffers as
+// regular references were mapped, each a power of two so the directory's
+// Base/Offset masks can decompose addresses (§3.2).  Every outer (tile)
+// iteration maps one chunk per buffer, waits for the transfers and runs the
+// inner iterations out of the LM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compiler/classify.hpp"
+#include "compiler/ir.hpp"
+
+namespace hm {
+
+struct BufferPlan {
+  unsigned ref = 0;       ///< the regular reference this buffer serves
+  unsigned array = 0;     ///< its target array
+  Addr lm_base = 0;       ///< base address of the buffer inside the LM
+  std::int64_t stride = 1;
+  Bytes elem_size = 8;
+  /// Whether the buffer is written back with a dma-put when the tile ends.
+  /// Read-only buffers skip the write-back — the optimization that makes the
+  /// double store necessary (§3.1).
+  bool writeback = false;
+};
+
+struct TilePlan {
+  Bytes buffer_size = 0;          ///< power of two; programmed into the directory
+  std::uint64_t iters_per_tile = 0;
+  std::uint64_t num_tiles = 0;
+  std::uint64_t total_iterations = 0;
+  std::vector<BufferPlan> buffers;
+
+  /// Iterations executed by tile @p t (the last tile may be partial).
+  std::uint64_t tile_iterations(std::uint64_t t) const {
+    const std::uint64_t start = t * iters_per_tile;
+    return std::min(iters_per_tile, total_iterations - start);
+  }
+  /// SM address of the chunk buffer @p b covers in tile @p t.
+  Addr chunk_sm_base(const LoopNest& loop, unsigned b, std::uint64_t t) const;
+  /// Bytes buffer @p b transfers in tile @p t.
+  Bytes chunk_bytes(unsigned b, std::uint64_t t) const;
+};
+
+/// Build the tiling plan.  Requires every mapped regular reference to advance
+/// the same number of bytes per iteration (stride * elem_size) so that all
+/// chunks stay aligned to the common buffer size — the geometry the paper's
+/// directory design assumes (equally sized buffers, §3.2).  Throws
+/// std::invalid_argument otherwise.
+TilePlan plan_tiling(const LoopNest& loop, const Classification& cls,
+                     Addr lm_base, Bytes lm_size);
+
+}  // namespace hm

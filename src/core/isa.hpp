@@ -1,0 +1,110 @@
+// The micro-op ISA consumed by the out-of-order core model.
+//
+// The paper extends x86 with guarded forms of memory instructions (gld/gst,
+// implemented with instruction prefixes, §3.1).  Our simulator uses a small
+// RISC-like micro-op vocabulary with the same semantics:
+//
+//   ld / st      conventional loads/stores — the §2.1 range check routes
+//                them to the LM (address in the LM range) or the SM;
+//   gld / gst    guarded loads/stores — the AGU looks the SM address up in
+//                the coherence directory and diverts the access on a hit;
+//   int / fp     ALU operations with register dependencies;
+//   br           conditional branch (resolved against `taken`);
+//   dma.get/put/synch   MMIO commands to the DMA controller;
+//   dir.config   memory-mapped write of the LM buffer size (§3.2);
+//   phase        marker separating the control / synch / work phases of the
+//                transformed code (Fig. 2) for the Fig. 9 breakdown.
+//
+// Register dependencies use a flat namespace of `kNumRegs` logical registers
+// (0 = "no register").  The core renames implicitly by tracking, per logical
+// register, the cycle its latest producer completes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace hm {
+
+inline constexpr unsigned kNumRegs = 64;
+
+enum class OpKind : std::uint8_t {
+  IntAlu,
+  FpAlu,
+  Load,
+  Store,
+  GuardedLoad,
+  GuardedStore,
+  Branch,
+  DmaGet,
+  DmaPut,
+  DmaSynch,
+  DirConfig,
+  PhaseMark,
+};
+
+/// Execution phase of the transformed code (Fig. 2).  Untransformed code
+/// (the cache-based machine) runs entirely in Work.
+enum class ExecPhase : std::uint8_t {
+  Work = 0,
+  Control = 1,
+  Synch = 2,
+};
+inline constexpr unsigned kNumPhases = 3;
+
+struct MicroOp {
+  OpKind kind = OpKind::IntAlu;
+  ExecPhase phase = ExecPhase::Work;
+  Addr pc = 0;
+
+  // Register operands (0 = unused).
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+
+  // Memory operands.
+  Addr addr = kNoAddr;
+  Bytes size = 8;
+
+  // Branch resolution (ground truth the predictor is checked against).
+  bool taken = false;
+  Addr target = 0;
+
+  // DMA command operands.
+  Addr dma_sm = kNoAddr;
+  Addr dma_lm = kNoAddr;
+  Bytes dma_size = 0;
+  std::uint8_t dma_tag = 0;
+  std::uint32_t synch_mask = 0;
+
+  // dir.config operand.
+  Bytes dir_buffer_size = 0;
+
+  // Functional payload: stores carry the value to write; loads optionally
+  // carry the value the generator expects to read (end-to-end coherence
+  // checking, DESIGN.md §6).
+  std::uint64_t value = 0;
+  bool has_value = false;
+  bool check_value = false;
+
+  bool is_load() const { return kind == OpKind::Load || kind == OpKind::GuardedLoad; }
+  bool is_store() const { return kind == OpKind::Store || kind == OpKind::GuardedStore; }
+  bool is_mem() const { return is_load() || is_store(); }
+  bool is_guarded() const { return kind == OpKind::GuardedLoad || kind == OpKind::GuardedStore; }
+  bool is_dma() const {
+    return kind == OpKind::DmaGet || kind == OpKind::DmaPut || kind == OpKind::DmaSynch;
+  }
+};
+
+/// Pull-model instruction source.  Workload generators and the compiler's
+/// code generator implement this; the core consumes it until exhaustion.
+class InstrStream {
+ public:
+  virtual ~InstrStream() = default;
+  /// Produce the next micro-op into @p op; false at end of program.
+  virtual bool next(MicroOp& op) = 0;
+  /// Restart from the beginning (used between benchmark repetitions).
+  virtual void reset() = 0;
+};
+
+}  // namespace hm

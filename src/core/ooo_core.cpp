@@ -1,0 +1,313 @@
+#include "core/ooo_core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace hm {
+
+OooCore::OooCore(CoreConfig cfg, MemoryHierarchy& hierarchy, LocalMemory* lm,
+                 CoherenceDirectory* directory, DmaController* dmac, ByteStore* image)
+    : cfg_(cfg), hierarchy_(hierarchy), lm_(lm), directory_(directory), dmac_(dmac),
+      image_(image), bpred_(cfg.bpred), stats_("core") {
+  if (cfg_.fetch_width == 0 || cfg_.retire_width == 0 || cfg_.rob_size == 0)
+    throw std::invalid_argument("core widths/ROB must be non-zero");
+}
+
+RunResult OooCore::run(InstrStream& program) {
+  RunResult res;
+
+  Counter& c_int = stats_.counter("int_ops");
+  Counter& c_fp = stats_.counter("fp_ops");
+  Counter& c_loads = stats_.counter("loads");
+  Counter& c_stores = stats_.counter("stores");
+  Counter& c_gld = stats_.counter("guarded_loads");
+  Counter& c_gst = stats_.counter("guarded_stores");
+  Counter& c_branches = stats_.counter("branches");
+  Counter& c_dma_cmds = stats_.counter("dma_commands");
+  Counter& c_collapsed = stats_.counter("collapsed_stores");
+  Counter& c_replays = stats_.counter("replay_uops");
+  Counter& c_flushed = stats_.counter("flushed_slots");
+  Counter& c_rob_stall = stats_.counter("rob_stall_cycles");
+  Counter& c_regreads = stats_.counter("regfile_reads");
+  Counter& c_regwrites = stats_.counter("regfile_writes");
+  Counter& c_lm_loads = stats_.counter("lm_loads");
+  Counter& c_lm_stores = stats_.counter("lm_stores");
+  Counter& c_sb_stall = stats_.counter("store_buffer_stall_cycles");
+  Counter& c_mismatch = stats_.counter("value_mismatches");
+  Counter& c_fetch_groups = stats_.counter("fetch_groups");
+
+  // Scoreboard: cycle at which each logical register's latest value is ready.
+  std::array<Cycle, kNumRegs> reg_ready{};
+
+  IssuePool int_units(cfg_.int_alus);
+  IssuePool fp_units(cfg_.fp_alus);
+  IssuePool lsu_units(cfg_.lsu_ports);
+
+  // ROB occupancy: retirement cycle of the uop that freed slot (i % size).
+  std::vector<Cycle> rob_free(cfg_.rob_size, 0);
+  std::vector<StoreBufferEntry> store_buffer(cfg_.store_buffer_entries);
+
+  Cycle dispatch_cycle = 0;        // current fetch group's cycle
+  unsigned dispatched_in_cycle = 0;
+  Cycle last_retire = 0;
+  unsigned retired_in_cycle = 0;
+  Cycle retire_pace_cycle = 0;
+  std::uint64_t uop_index = 0;
+
+  MicroOp op;
+  while (program.next(op)) {
+    if (op.kind == OpKind::PhaseMark) continue;  // metadata only
+
+    // ---- Dispatch: fetch-width pacing + ROB occupancy ------------------
+    if (dispatched_in_cycle >= cfg_.fetch_width) {
+      ++dispatch_cycle;
+      dispatched_in_cycle = 0;
+    }
+    if (dispatched_in_cycle == 0) c_fetch_groups.inc();
+    const Cycle rob_ready = rob_free[uop_index % cfg_.rob_size];
+    if (rob_ready > dispatch_cycle) {
+      c_rob_stall.inc(rob_ready - dispatch_cycle);
+      dispatch_cycle = rob_ready;
+      dispatched_in_cycle = 0;
+    }
+    const Cycle dispatched = dispatch_cycle;
+    ++dispatched_in_cycle;
+
+    // ---- Operand readiness --------------------------------------------
+    Cycle ready = dispatched;
+    if (op.src1 != 0) { ready = std::max(ready, reg_ready[op.src1]); c_regreads.inc(); }
+    if (op.src2 != 0) { ready = std::max(ready, reg_ready[op.src2]); c_regreads.inc(); }
+
+    Cycle done = ready;
+
+    switch (op.kind) {
+      case OpKind::IntAlu: {
+        c_int.inc();
+        done = int_units.book(ready) + cfg_.int_latency;
+        break;
+      }
+      case OpKind::FpAlu: {
+        c_fp.inc();
+        done = fp_units.book(ready) + cfg_.fp_latency;
+        break;
+      }
+      case OpKind::Branch: {
+        c_branches.inc();
+        const Cycle issue = int_units.book(ready);
+        done = issue + cfg_.int_latency;
+        bpred_.predict(op.pc);
+        const bool correct = bpred_.update(op.pc, op.taken, op.target);
+        if (!correct) {
+          // Flush: the frontend redirects after resolution; everything
+          // fetched in between is wasted work (energy) and the next uop
+          // dispatches after the penalty.
+          const Cycle redirect = done + cfg_.mispredict_penalty;
+          c_flushed.inc(cfg_.fetch_width * cfg_.mispredict_penalty);
+          if (redirect > dispatch_cycle) {
+            dispatch_cycle = redirect;
+            dispatched_in_cycle = 0;
+          }
+        }
+        break;
+      }
+      case OpKind::Load:
+      case OpKind::Store:
+      case OpKind::GuardedLoad:
+      case OpKind::GuardedStore: {
+        const bool is_load = op.is_load();
+        Addr final_addr = op.addr;
+        bool to_lm = lm_ != nullptr && lm_->contains(op.addr);
+        bool oracle_diverted = false;
+
+        if (!op.is_guarded() && cfg_.oracle_divert && directory_ != nullptr && !to_lm) {
+          // Oracle baseline (§4.2): the incoherent machine's compiler "knows"
+          // where the valid copy is; divert with zero cost and zero
+          // directory activity.
+          if (auto diverted = directory_->peek(op.addr)) {
+            final_addr = *diverted;
+            to_lm = true;
+            oracle_diverted = true;
+          }
+        }
+
+        // Plain stores first try to collapse into a non-drained older store
+        // to the same address: the LSQ folds them into one access with no
+        // extra issue slot — this is what makes the double store cost only
+        // its dispatch bandwidth (§3.1).  Guarded stores always issue: they
+        // must reach the AGU for the directory lookup.
+        if (op.kind == OpKind::Store) {
+          const Addr sb_addr = align_down(final_addr, 8);
+          bool collapsed = false;
+          for (auto& e : store_buffer) {
+            if (e.addr == sb_addr && e.drains_at > ready) { collapsed = true; break; }
+          }
+          if (collapsed) {
+            c_collapsed.inc();
+            c_stores.inc();
+            ++res.stores;
+            done = ready;  // folded into the older store
+            if (image_ != nullptr && op.has_value) {
+              image_->store64(final_addr, op.value);
+              if (oracle_diverted) image_->store64(op.addr, op.value);
+            }
+            break;
+          }
+        }
+
+        const Cycle issue = lsu_units.book(ready);
+        // Address generation happens in the issue cycle; for guarded ops the
+        // directory lookup is folded into the same cycle (§3.2).
+        Cycle access_start = issue + 1;
+
+        if (op.is_guarded()) {
+          if (directory_ == nullptr)
+            throw std::logic_error("guarded instruction on a machine without a directory");
+          const auto look = directory_->lookup(op.addr, access_start);
+          access_start = look.available_at;  // presence-bit stall, if any
+          if (look.hit) {
+            final_addr = look.address;
+            to_lm = true;
+          }
+          (is_load ? c_gld : c_gst).inc();
+          (is_load ? res.guarded_loads : res.guarded_stores)++;
+        }
+
+        if (is_load) {
+          c_loads.inc();
+          ++res.loads;
+          if (to_lm) {
+            c_lm_loads.inc();
+            done = lm_->access(access_start, final_addr, AccessType::Read);
+            res.load_latency.add(static_cast<double>(done - access_start));
+          } else {
+            const AccessResult r = hierarchy_.access(access_start, final_addr,
+                                                     AccessType::Read, op.pc);
+            done = r.complete;
+            res.load_latency.add(static_cast<double>(r.latency));
+            if (r.served_by != ServedBy::CacheL1) {
+              // Scheduler replay of speculatively woken dependents
+              // (PTLsim-style): re-executed uops cost energy and dependents
+              // observe the extra wakeup/select round trip.
+              c_replays.inc(cfg_.fetch_width);
+              done += cfg_.replay_penalty;
+            }
+          }
+          if (image_ != nullptr) {
+            const std::uint64_t v = image_->load64(final_addr);
+            if (op.check_value && v != op.value) {
+              c_mismatch.inc();
+              ++res.value_mismatches;
+            }
+          }
+        } else {
+          c_stores.inc();
+          ++res.stores;
+          const Addr sb_addr = align_down(final_addr, 8);
+          StoreBufferEntry* slot = &store_buffer[0];
+          for (auto& e : store_buffer) {
+            if (e.drains_at < slot->drains_at) slot = &e;
+          }
+          Cycle sb_start = access_start;
+          if (slot->drains_at > access_start) {
+            // Store buffer full: structural stall.
+            c_sb_stall.inc(slot->drains_at - access_start);
+            sb_start = slot->drains_at;
+          }
+          Cycle drain = sb_start + cfg_.store_drain_latency;
+          if (to_lm) {
+            c_lm_stores.inc();
+            drain = std::max(drain, lm_->access(sb_start, final_addr, AccessType::Write));
+          } else {
+            // The entry drains when the write actually lands downstream —
+            // a saturated L2 back-pressures the store buffer and, through
+            // it, dispatch.  This is the write-through cost the hybrid
+            // machine avoids for its regular stores.
+            const AccessResult wr = hierarchy_.access(sb_start, final_addr,
+                                                      AccessType::Write, op.pc);
+            drain = std::max(drain, wr.complete);
+          }
+          slot->addr = sb_addr;
+          slot->drains_at = drain;
+          // The store retires as soon as it is in the buffer.
+          done = sb_start;
+          if (image_ != nullptr && op.has_value) {
+            image_->store64(final_addr, op.value);
+            // An oracle-diverted store also keeps the SM copy current: the
+            // baseline machine is incoherent-but-correct by construction.
+            if (oracle_diverted) image_->store64(op.addr, op.value);
+          }
+        }
+        break;
+      }
+      case OpKind::DmaGet: {
+        c_dma_cmds.inc();
+        if (dmac_ == nullptr) throw std::logic_error("dma op on a machine without a DMAC");
+        const Cycle issue = lsu_units.book(ready);  // MMIO store
+        dmac_->get(issue + 1, op.dma_sm, op.dma_lm, op.dma_size, op.dma_tag);
+        done = issue + 1;
+        break;
+      }
+      case OpKind::DmaPut: {
+        c_dma_cmds.inc();
+        if (dmac_ == nullptr) throw std::logic_error("dma op on a machine without a DMAC");
+        const Cycle issue = lsu_units.book(ready);
+        dmac_->put(issue + 1, op.dma_lm, op.dma_sm, op.dma_size, op.dma_tag);
+        done = issue + 1;
+        break;
+      }
+      case OpKind::DmaSynch: {
+        c_dma_cmds.inc();
+        if (dmac_ == nullptr) throw std::logic_error("dma op on a machine without a DMAC");
+        const Cycle issue = lsu_units.book(ready);
+        done = dmac_->synch(issue + 1, op.synch_mask);
+        // dma-synch is serializing: nothing younger dispatches until the
+        // transfers it waits for have completed.
+        if (done > dispatch_cycle) {
+          dispatch_cycle = done;
+          dispatched_in_cycle = 0;
+        }
+        break;
+      }
+      case OpKind::DirConfig: {
+        const Cycle issue = lsu_units.book(ready);  // MMIO store
+        done = issue + 1;
+        if (directory_ != nullptr && lm_ != nullptr)
+          directory_->configure(op.dir_buffer_size, lm_->base(), lm_->size());
+        break;
+      }
+      case OpKind::PhaseMark:
+        break;  // unreachable (filtered above)
+    }
+
+    if (op.dst != 0) {
+      reg_ready[op.dst] = done;
+      c_regwrites.inc();
+    }
+
+    // ---- In-order retirement ------------------------------------------
+    Cycle retire = std::max(done, last_retire);
+    if (retire == retire_pace_cycle) {
+      if (++retired_in_cycle > cfg_.retire_width) {
+        retire += 1;
+        retire_pace_cycle = retire;
+        retired_in_cycle = 1;
+      }
+    } else {
+      retire_pace_cycle = retire;
+      retired_in_cycle = 1;
+    }
+
+    res.phase_cycles[static_cast<unsigned>(op.phase)] += retire - last_retire;
+    last_retire = retire;
+    rob_free[uop_index % cfg_.rob_size] = retire;
+    ++uop_index;
+    ++res.uops;
+  }
+
+  res.cycles = last_retire;
+  return res;
+}
+
+}  // namespace hm

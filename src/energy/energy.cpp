@@ -1,0 +1,61 @@
+#include "energy/energy.hpp"
+
+#include <cmath>
+
+namespace hm {
+
+PicoJoule EnergyModel::l1_access_energy(Bytes l1_size) const {
+  const double scale = std::sqrt(static_cast<double>(l1_size) / (32.0 * 1024.0));
+  return params_.l1_access_32k * scale;
+}
+
+PicoJoule EnergyModel::l1_leak(Bytes l1_size) const {
+  const double scale = static_cast<double>(l1_size) / (32.0 * 1024.0);
+  return params_.leak_l1_32k * scale;
+}
+
+EnergyBreakdown EnergyModel::compute(const ActivityCounts& a) const {
+  const EnergyParams& p = params_;
+  EnergyBreakdown e;
+  const auto n = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  // CPU: pipeline dynamic energy + core leakage.
+  e.cpu += n(a.fetch_groups) * p.fetch_group;
+  e.cpu += n(a.uops) * (p.rob_dispatch + p.issue_op);
+  e.cpu += n(a.regfile_reads) * p.regfile_read;
+  e.cpu += n(a.regfile_writes) * p.regfile_write;
+  e.cpu += n(a.int_ops) * p.int_op;
+  e.cpu += n(a.fp_ops) * p.fp_op;
+  e.cpu += n(a.branches) * p.bpred_lookup;
+  e.cpu += n(a.mem_uops) * p.lsq_op;
+  e.cpu += n(a.replay_uops) * p.replay_uop;
+  e.cpu += n(a.flushed_slots) * p.flushed_slot;
+  e.cpu += n(a.cycles) * p.leak_core;
+
+  // Caches.
+  e.caches += n(a.l1_activity) * l1_access_energy(a.l1_size);
+  e.caches += n(a.l2_activity) * p.l2_access;
+  e.caches += n(a.l3_activity) * p.l3_access;
+  e.caches += n(a.cycles) * (l1_leak(a.l1_size) + p.leak_l2 + p.leak_l3);
+
+  // Local memory.
+  if (a.has_lm) {
+    e.lm += n(a.lm_accesses) * p.lm_access;
+    e.lm += n(a.cycles) * p.leak_lm;
+  }
+
+  // Others: prefetchers, DMA, buses, directory, main memory interface.
+  e.others += n(a.prefetch_trainings) * p.prefetch_train;
+  e.others += n(a.prefetch_issues) * p.prefetch_issue;
+  e.others += n(a.dma_lines) * p.dma_line;
+  e.others += n(a.bus_transfers) * p.bus_transfer;
+  e.others += n(a.mem_accesses) * p.mem_access;
+  if (a.has_directory) {
+    e.others += n(a.dir_lookups) * p.dir_lookup;
+    e.others += n(a.dir_updates) * p.dir_update;
+    e.others += n(a.cycles) * p.leak_dir;
+  }
+  return e;
+}
+
+}  // namespace hm

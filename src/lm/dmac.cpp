@@ -1,0 +1,114 @@
+#include "lm/dmac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace hm {
+
+DmaController::DmaController(DmaConfig cfg, MemoryHierarchy& hierarchy, LocalMemory& lm,
+                             CoherenceDirectory* directory, ByteStore* image)
+    : cfg_(cfg), hierarchy_(hierarchy), lm_(lm), directory_(directory), image_(image),
+      stats_("dmac") {
+  if (cfg_.num_tags == 0 || cfg_.num_tags > tag_complete_.size())
+    throw std::invalid_argument("dma tag count out of range");
+  gets_ = &stats_.counter("gets");
+  puts_ = &stats_.counter("puts");
+  synchs_ = &stats_.counter("synchs");
+  lines_ = &stats_.counter("lines");
+  bytes_ = &stats_.counter("bytes");
+}
+
+void DmaController::check_tag(unsigned tag) const {
+  if (tag >= cfg_.num_tags) throw std::out_of_range("dma tag out of range");
+}
+
+Cycle DmaController::get(Cycle now, Addr sm_src, Addr lm_dst, Bytes size, unsigned tag) {
+  check_tag(tag);
+  if (!lm_.contains(lm_dst) || !lm_.contains(lm_dst + size - 1))
+    throw std::out_of_range("dma-get destination outside the LM");
+  gets_->inc();
+  bytes_->inc(size);
+
+  const Bytes line = hierarchy_.line_size();
+  const Addr first = align_down(sm_src, line);
+  const Addr last = align_down(sm_src + size - 1, line);
+  const Bytes nlines = (last - first) / line + 1;
+  lines_->inc(nlines);
+
+  // Pipelined engine: an idle engine pays the first line's full snoop/DRAM
+  // latency; a busy engine hides the next command's fetch behind its own
+  // streaming tail (the memory side prefetches across command boundaries),
+  // sustaining one line per `per_line` cycles.
+  const Cycle queued = now + cfg_.startup;
+  Cycle t;
+  if (engine_free_ <= queued) {
+    t = hierarchy_.dma_read_line(queued, first);
+  } else {
+    hierarchy_.dma_read_line(engine_free_, first);  // activity accounting
+    t = engine_free_ + cfg_.per_line;
+  }
+  for (Addr a = first + line; a <= last; a += line) {
+    hierarchy_.dma_read_line(t, a);  // bus + snoop activity for every line
+    t += cfg_.per_line;
+  }
+  engine_free_ = t;
+  tag_complete_[tag] = std::max(tag_complete_[tag], t);
+
+  // Directory update: this is the LM-map (and implicit LM-unmap of the
+  // previous chunk in the buffer).  Presence is set at completion.
+  if (directory_ != nullptr) directory_->map(sm_src, lm_dst, t);
+
+  // Functional transfer (SM image -> LM image).
+  if (image_ != nullptr) image_->copy_from(*image_, sm_src, lm_dst, size);
+  return t;
+}
+
+Cycle DmaController::put(Cycle now, Addr lm_src, Addr sm_dst, Bytes size, unsigned tag) {
+  check_tag(tag);
+  if (!lm_.contains(lm_src) || !lm_.contains(lm_src + size - 1))
+    throw std::out_of_range("dma-put source outside the LM");
+  puts_->inc();
+  bytes_->inc(size);
+
+  const Bytes line = hierarchy_.line_size();
+  const Addr first = align_down(sm_dst, line);
+  const Addr last = align_down(sm_dst + size - 1, line);
+  const Bytes nlines = (last - first) / line + 1;
+  lines_->inc(nlines);
+
+  // Every line is written to main memory and invalidated in the caches;
+  // writes are posted, so the engine streams at the pipelined rate without
+  // waiting for DRAM write completion.
+  const Cycle queued = now + cfg_.startup;
+  hierarchy_.dma_write_line(queued, first);
+  Cycle t = std::max(queued + cfg_.per_line, engine_free_ + cfg_.per_line);
+  for (Addr a = first + line; a <= last; a += line) {
+    hierarchy_.dma_write_line(t, a);
+    t += cfg_.per_line;
+  }
+  engine_free_ = t;
+  tag_complete_[tag] = std::max(tag_complete_[tag], t);
+
+  // Functional transfer (LM image -> SM image).  The LM stays mapped: a
+  // dma-put is an LM-writeback, not an LM-unmap (§3.4.1).
+  if (image_ != nullptr) image_->copy_from(*image_, lm_src, sm_dst, size);
+  return t;
+}
+
+Cycle DmaController::synch(Cycle now, std::uint32_t tag_mask) const {
+  synchs_->inc();
+  Cycle done = now;
+  for (unsigned tag = 0; tag < cfg_.num_tags && tag < 32; ++tag) {
+    if ((tag_mask >> tag) & 1u) done = std::max(done, tag_complete_[tag]);
+  }
+  return done;
+}
+
+void DmaController::reset() {
+  engine_free_ = 0;
+  tag_complete_.fill(0);
+}
+
+}  // namespace hm

@@ -1,0 +1,86 @@
+// Programmable DMA controller (§2.1).
+//
+// Offers the three operations of the paper: dma-get (SM -> LM), dma-put
+// (LM -> SM) and dma-synch (wait for tagged transfers).  Transfers are
+// coherent with the SM:
+//
+//  * dma-get bus requests snoop the cache hierarchy and copy from a cache
+//    when the line is resident, otherwise from main memory;
+//  * dma-put bus requests copy to main memory and invalidate the line in the
+//    whole hierarchy.
+//
+// The DMAC is also the component that updates the coherence directory: every
+// dma-get maps (source SM base -> destination LM buffer) and the Presence
+// bit of the entry is set when the transfer completes (§3.2 "Update").
+//
+// Timing: one engine processes commands in order; a command takes a fixed
+// startup plus a pipelined per-line cost, with the first line paying its
+// full snoop/DRAM latency.  Functionally the transfer copies bytes between
+// the SM and LM regions of the shared ByteStore image (the two regions are
+// disjoint address ranges, so "which copy" is encoded in the address).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/byte_store.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/directory.hpp"
+#include "lm/local_memory.hpp"
+#include "memory/hierarchy.hpp"
+
+namespace hm {
+
+struct DmaConfig {
+  Cycle startup = 8;     ///< MMIO command decode + engine kick-off
+  Cycle per_line = 1;    ///< pipelined per-line transfer cost (bus 64 B/cycle)
+  unsigned num_tags = 32;
+};
+
+class DmaController {
+ public:
+  DmaController(DmaConfig cfg, MemoryHierarchy& hierarchy, LocalMemory& lm,
+                CoherenceDirectory* directory, ByteStore* image);
+
+  /// dma-get: transfer @p size bytes from SM address @p sm_src to LM address
+  /// @p lm_dst.  Returns the completion cycle.  Updates the directory entry
+  /// of the destination buffer (when a directory is attached).
+  Cycle get(Cycle now, Addr sm_src, Addr lm_dst, Bytes size, unsigned tag);
+
+  /// dma-put: transfer @p size bytes from LM address @p lm_src to SM address
+  /// @p sm_dst, invalidating stale cache copies.
+  Cycle put(Cycle now, Addr lm_src, Addr sm_dst, Bytes size, unsigned tag);
+
+  /// dma-synch: cycle at which every transfer whose tag is in @p tag_mask
+  /// has completed (at least @p now).
+  Cycle synch(Cycle now, std::uint32_t tag_mask) const;
+
+  /// Completion cycle of the last transfer issued on @p tag.
+  Cycle tag_complete(unsigned tag) const { return tag_complete_.at(tag); }
+
+  void reset();
+
+  const DmaConfig& config() const { return cfg_; }
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+ private:
+  void check_tag(unsigned tag) const;
+
+  DmaConfig cfg_;
+  MemoryHierarchy& hierarchy_;
+  LocalMemory& lm_;
+  CoherenceDirectory* directory_;  ///< null on the incoherent/oracle machine
+  ByteStore* image_;               ///< null when running timing-only
+  Cycle engine_free_ = 0;
+  std::array<Cycle, 64> tag_complete_{};
+  StatGroup stats_;
+  Counter* gets_;
+  Counter* puts_;
+  Counter* synchs_;
+  Counter* lines_;
+  Counter* bytes_;
+};
+
+}  // namespace hm

@@ -1,0 +1,134 @@
+#include "memory/cache.hpp"
+
+#include <stdexcept>
+
+namespace hm {
+
+void CacheConfig::validate() const {
+  if (!is_pow2(line_size)) throw std::invalid_argument(name + ": line size must be a power of two");
+  if (size == 0 || associativity == 0) throw std::invalid_argument(name + ": zero size/assoc");
+  if (size < line_size * associativity)
+    throw std::invalid_argument(name + ": size smaller than one set");
+}
+
+SetAssocCache::SetAssocCache(CacheConfig cfg) : cfg_(std::move(cfg)), stats_(cfg_.name) {
+  cfg_.validate();
+  num_sets_ = cfg_.num_sets();
+  lines_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
+  lookups_ = &stats_.counter("lookups");
+  hits_ = &stats_.counter("hits");
+  misses_ = &stats_.counter("misses");
+  read_hits_ = &stats_.counter("read_hits");
+  write_hits_ = &stats_.counter("write_hits");
+  fills_ = &stats_.counter("fills");
+  prefetch_fills_ = &stats_.counter("prefetch_fills");
+  evictions_ = &stats_.counter("evictions");
+  dirty_evictions_ = &stats_.counter("dirty_evictions");
+  invalidations_ = &stats_.counter("invalidations");
+  snoops_ = &stats_.counter("snoops");
+}
+
+unsigned SetAssocCache::set_index(Addr addr) const {
+  // XOR-folded set index: large power-of-two allocation alignments would
+  // otherwise map the k-th line of every array to the same set and thrash
+  // (physically indexed caches avoid this through page colouring; index
+  // hashing is the standard simulator equivalent).
+  const Addr line = addr / cfg_.line_size;
+  const Addr hashed = line ^ (line >> 11) ^ (line >> 23);
+  return static_cast<unsigned>(hashed % num_sets_);
+}
+
+SetAssocCache::Line* SetAssocCache::find_line(Addr addr) {
+  const Addr base = line_base(addr);
+  Line* set = &lines_[static_cast<std::size_t>(set_index(addr)) * cfg_.associativity];
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    if (set[w].tag == base) return &set[w];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find_line(Addr addr) const {
+  return const_cast<SetAssocCache*>(this)->find_line(addr);
+}
+
+bool SetAssocCache::touch(Addr addr, AccessType type) {
+  lookups_->inc();
+  Line* line = find_line(addr);
+  if (line == nullptr) {
+    misses_->inc();
+    return false;
+  }
+  hits_->inc();
+  if (type == AccessType::Read) {
+    read_hits_->inc();
+  } else {
+    write_hits_->inc();
+    if (cfg_.write_policy == WritePolicy::WriteBack) line->dirty = true;
+  }
+  line->lru = ++lru_clock_;
+  return true;
+}
+
+bool SetAssocCache::probe(Addr addr) const {
+  snoops_->inc();
+  return probe_silent(addr);
+}
+
+bool SetAssocCache::probe_silent(Addr addr) const { return find_line(addr) != nullptr; }
+
+std::optional<EvictedLine> SetAssocCache::fill(Addr addr, bool from_prefetch) {
+  if (find_line(addr) != nullptr) return std::nullopt;  // already resident
+  fills_->inc();
+  if (from_prefetch) prefetch_fills_->inc();
+
+  Line* set = &lines_[static_cast<std::size_t>(set_index(addr)) * cfg_.associativity];
+  Line* victim = &set[0];
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    if (set[w].tag == kNoAddr) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru < victim->lru) victim = &set[w];
+  }
+
+  std::optional<EvictedLine> evicted;
+  if (victim->tag != kNoAddr) {
+    evictions_->inc();
+    if (victim->dirty) dirty_evictions_->inc();
+    evicted = EvictedLine{victim->tag, victim->dirty};
+  }
+  victim->tag = line_base(addr);
+  victim->dirty = false;
+  victim->lru = ++lru_clock_;
+  return evicted;
+}
+
+void SetAssocCache::set_dirty(Addr addr) {
+  if (cfg_.write_policy != WritePolicy::WriteBack) return;
+  if (Line* line = find_line(addr)) line->dirty = true;
+}
+
+std::optional<EvictedLine> SetAssocCache::invalidate(Addr addr) {
+  invalidations_->inc();
+  Line* line = find_line(addr);
+  if (line == nullptr) return std::nullopt;
+  EvictedLine out{line->tag, line->dirty};
+  line->tag = kNoAddr;
+  line->dirty = false;
+  line->lru = 0;
+  return out;
+}
+
+void SetAssocCache::flush_all() {
+  for (auto& line : lines_) line = Line{};
+  lru_clock_ = 0;
+}
+
+std::size_t SetAssocCache::valid_lines() const {
+  std::size_t n = 0;
+  for (const auto& line : lines_)
+    if (line.tag != kNoAddr) ++n;
+  return n;
+}
+
+}  // namespace hm

@@ -1,0 +1,121 @@
+// Set-associative cache tag array with true-LRU replacement.
+//
+// The simulator's caches are tag-only: functional data lives in the
+// sim::FunctionalMemory image (system memory is internally coherent, so one
+// image suffices; see DESIGN.md §6).  The cache model provides the timing
+// and activity counts the paper's evaluation depends on: hits, misses,
+// evictions, invalidations and fills, including those caused by prefetchers
+// and DMA bus requests (Table 3 counts all of them as "accesses").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hm {
+
+enum class WritePolicy : std::uint8_t {
+  WriteThrough,  ///< writes propagate to the next level; lines never dirty
+  WriteBack,     ///< dirty lines written back on eviction
+};
+
+struct CacheConfig {
+  std::string name = "cache";
+  Bytes size = 32 * 1024;
+  unsigned associativity = 8;
+  Bytes line_size = 64;
+  Cycle latency = 2;
+  WritePolicy write_policy = WritePolicy::WriteBack;
+
+  /// Number of sets.  Not required to be a power of two (the paper's L2 is
+  /// 256 KB 24-way: 170 sets); indexing is modulo the set count.
+  unsigned num_sets() const {
+    const Bytes way_bytes = line_size * associativity;
+    return static_cast<unsigned>(size >= way_bytes ? size / way_bytes : 1);
+  }
+  void validate() const;
+};
+
+/// Result of removing a line (by eviction or invalidation).
+struct EvictedLine {
+  Addr line_addr = kNoAddr;
+  bool dirty = false;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig cfg);
+
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Lookup with LRU update.  Returns true on hit.  Counts a lookup and a
+  /// hit/miss.  Does not allocate.
+  bool touch(Addr addr, AccessType type);
+
+  /// Lookup without LRU update and without statistics side effects on
+  /// hit/miss counters (counts a snoop).  Used by coherent DMA bus requests.
+  bool probe(Addr addr) const;
+
+  /// Insert the line containing @p addr (does nothing if already present).
+  /// Returns the victim line if a valid line was evicted.
+  std::optional<EvictedLine> fill(Addr addr, bool from_prefetch = false);
+
+  /// Mark the line containing @p addr dirty (write-back caches).  No-op if
+  /// the line is absent or the cache is write-through.
+  void set_dirty(Addr addr);
+
+  /// Invalidate the line containing @p addr, returning it if present.
+  /// Counts an invalidation.  Used by dma-put bus requests (§2.1).
+  std::optional<EvictedLine> invalidate(Addr addr);
+
+  /// Drop every line (used between benchmark repetitions).
+  void flush_all();
+
+  /// Number of currently valid lines (for tests).
+  std::size_t valid_lines() const;
+
+  bool contains(Addr addr) const { return probe_silent(addr); }
+
+  Addr line_base(Addr addr) const { return align_down(addr, cfg_.line_size); }
+
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+ private:
+  struct Line {
+    Addr tag = kNoAddr;   // full line base address; kNoAddr = invalid
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  bool probe_silent(Addr addr) const;
+  Line* find_line(Addr addr);
+  const Line* find_line(Addr addr) const;
+  unsigned set_index(Addr addr) const;
+
+  CacheConfig cfg_;
+  unsigned num_sets_ = 1;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t lru_clock_ = 0;
+  StatGroup stats_;
+
+  // Hot counters, registered once in stats_.
+  Counter* lookups_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* read_hits_;
+  Counter* write_hits_;
+  Counter* fills_;
+  Counter* prefetch_fills_;
+  Counter* evictions_;
+  Counter* dirty_evictions_;
+  Counter* invalidations_;
+  Counter* snoops_;
+};
+
+}  // namespace hm

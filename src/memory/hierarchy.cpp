@@ -1,0 +1,247 @@
+#include "memory/hierarchy.hpp"
+
+namespace hm {
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
+    : cfg_(std::move(cfg)),
+      l1d_(cfg_.l1d),
+      l2_(cfg_.l2),
+      l3_(cfg_.l3),
+      mem_(cfg_.mem),
+      mshr_("L1_MSHR", cfg_.mshr),
+      pf_l1_("PF_L1", cfg_.pf_l1, cfg_.l1d.line_size),
+      pf_l2_("PF_L2", cfg_.pf_l2, cfg_.l2.line_size),
+      pf_l3_("PF_L3", cfg_.pf_l3, cfg_.l3.line_size),
+      l2_pool_(cfg_.l2_gap),
+      l3_pool_(cfg_.l3_gap),
+      stats_("hierarchy") {
+  loads_ = &stats_.counter("loads");
+  stores_ = &stats_.counter("stores");
+  writethrough_traffic_ = &stats_.counter("writethrough_traffic");
+  bus_l1_l2_ = &stats_.counter("bus_l1_l2");
+  bus_l2_l3_ = &stats_.counter("bus_l2_l3");
+  bus_l3_mem_ = &stats_.counter("bus_l3_mem");
+  bus_dma_ = &stats_.counter("bus_dma");
+  l2_queue_cycles_ = &stats_.counter("l2_queue_cycles");
+  l3_queue_cycles_ = &stats_.counter("l3_queue_cycles");
+}
+
+Cycle MemoryHierarchy::book_l2(Cycle when) {
+  const Cycle start = l2_pool_.book(when);
+  if (start > when) l2_queue_cycles_->inc(start - when);
+  return start;
+}
+
+Cycle MemoryHierarchy::book_l3(Cycle when) {
+  const Cycle start = l3_pool_.book(when);
+  if (start > when) l3_queue_cycles_->inc(start - when);
+  return start;
+}
+
+void MemoryHierarchy::handle_l3_victim(Cycle now, const EvictedLine& v) {
+  if (!v.dirty) return;
+  bus_l3_mem_->inc();
+  mem_.access(now, AccessType::Write);
+}
+
+void MemoryHierarchy::handle_l2_victim(Cycle now, const EvictedLine& v) {
+  if (!v.dirty) return;
+  bus_l2_l3_->inc();
+  if (l3_.touch(v.line_addr, AccessType::Write)) {
+    return;  // merged into resident L3 line, now dirty
+  }
+  if (auto l3v = l3_.fill(v.line_addr)) handle_l3_victim(now, *l3v);
+  l3_.set_dirty(v.line_addr);
+}
+
+void MemoryHierarchy::fetch_below_l2(Cycle now, Addr line) {
+  // Bring a line into L2 from L3 or memory.  The fill is off the critical
+  // path latency-wise but consumes L2 bandwidth (prefetch pollution cost).
+  book_l2(now);
+  bus_l2_l3_->inc();
+  if (!l3_.touch(line, AccessType::Read)) {
+    bus_l3_mem_->inc();
+    mem_.access(now, AccessType::Read);
+    if (auto v = l3_.fill(line)) handle_l3_victim(now, *v);
+  }
+  if (auto v = l2_.fill(line, /*from_prefetch=*/true)) handle_l2_victim(now, *v);
+}
+
+void MemoryHierarchy::run_prefetches_l1(Cycle now, Addr pc, Addr addr) {
+  for (Addr line : pf_l1_.train(pc, addr)) {
+    if (l1d_.contains(line)) continue;
+    // The prefetched line is fetched through the hierarchy like any other
+    // fill: it consumes bus bandwidth and DRAM accesses, which is exactly
+    // the pollution cost the paper's §4.3 analysis charges to prefetching.
+    bus_l1_l2_->inc();
+    if (!l2_.contains(line)) fetch_below_l2(now, line);
+    if (auto v = l1d_.fill(line, /*from_prefetch=*/true); v && v->dirty) {
+      // L1 is write-through: victims are never dirty.  Kept for generality
+      // when the cache-based machine is configured write-back.
+      handle_l2_victim(now, *v);
+    }
+  }
+}
+
+void MemoryHierarchy::run_prefetches_l2(Cycle now, Addr pc, Addr addr) {
+  for (Addr line : pf_l2_.train(pc, addr)) {
+    if (l2_.contains(line)) continue;
+    fetch_below_l2(now, line);
+  }
+}
+
+void MemoryHierarchy::run_prefetches_l3(Cycle now, Addr pc, Addr addr) {
+  for (Addr line : pf_l3_.train(pc, addr)) {
+    if (l3_.contains(line)) continue;
+    bus_l3_mem_->inc();
+    mem_.access(now, AccessType::Read);
+    if (auto v = l3_.fill(line, /*from_prefetch=*/true)) handle_l3_victim(now, *v);
+  }
+}
+
+Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served) {
+  // L1 missed; look in L2 (booking an L2 port slot).
+  const Cycle l2_start = book_l2(now);
+  Cycle lat = (l2_start - now) + cfg_.l2.latency;
+  bus_l1_l2_->inc();
+  run_prefetches_l2(now, pc, addr);  // L2 prefetcher trains on L1 misses
+  if (l2_.touch(addr, AccessType::Read)) {
+    served = ServedBy::CacheL2;
+    return lat;
+  }
+
+  // L2 missed; look in L3 (booking an L3 port slot).
+  const Cycle l3_start = book_l3(now + lat);
+  lat = (l3_start - now) + cfg_.l3.latency;
+  bus_l2_l3_->inc();
+  run_prefetches_l3(now, pc, addr);
+  if (!l3_.touch(addr, AccessType::Read)) {
+    // L3 missed: fetch the line from main memory.
+    bus_l3_mem_->inc();
+    const Cycle mem_done = mem_.access(now + lat, AccessType::Read);
+    lat = (mem_done - now);
+    if (auto v = l3_.fill(addr)) handle_l3_victim(now, *v);
+    served = ServedBy::MainMemory;
+  } else {
+    served = ServedBy::CacheL3;
+  }
+
+  // Allocate the line in L2 on the way back up.
+  if (auto v = l2_.fill(addr)) handle_l2_victim(now, *v);
+  return lat;
+}
+
+Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc) {
+  const Addr line = l1d_.line_base(addr);
+  WcbEntry* slot = &wcb_[0];
+  for (WcbEntry& e : wcb_) {
+    if (e.line == line && e.drain > now) {
+      // Merged into the pending write of the same line: no extra L2 slot.
+      return e.drain;
+    }
+    if (e.drain < slot->drain) slot = &e;
+  }
+  // New combining entry: the write consumes an L2 slot (allocating the line
+  // in L2 if absent, through the regular miss path).
+  writethrough_traffic_->inc();
+  bus_l1_l2_->inc();
+  Cycle drain;
+  if (l2_.touch(addr, AccessType::Write)) {
+    drain = book_l2(now) + cfg_.l2.latency;
+  } else {
+    ServedBy served = ServedBy::CacheL2;
+    drain = now + fill_from_below(now, addr, pc, served);
+    l2_.set_dirty(addr);
+  }
+  slot->line = line;
+  slot->drain = drain;
+  return drain;
+}
+
+AccessResult MemoryHierarchy::access(Cycle now, Addr addr, AccessType type, Addr pc) {
+  (type == AccessType::Read ? loads_ : stores_)->inc();
+  run_prefetches_l1(now, pc, addr);
+
+  AccessResult r;
+  const Cycle l1_lat = cfg_.l1d.latency;
+
+  if (l1d_.touch(addr, type)) {
+    r.served_by = ServedBy::CacheL1;
+    r.latency = l1_lat;
+    r.complete = now + l1_lat;
+    if (type == AccessType::Write && cfg_.l1d.write_policy == WritePolicy::WriteThrough) {
+      // Write-through traffic goes through the write-combining buffer; the
+      // store-buffer entry drains when the (possibly merged) write lands.
+      r.complete = wt_store(now, addr, pc);
+    }
+    return r;
+  }
+
+  if (type == AccessType::Write && cfg_.l1d.write_policy == WritePolicy::WriteThrough) {
+    // No-write-allocate: a store miss does not bring the line into L1 (the
+    // usual pairing with write-through — random stores must not evict the
+    // reused read data).  The store goes to L2 via the combining buffer.
+    r.served_by = ServedBy::CacheL2;
+    r.latency = l1_lat;  // the issuing store observes only the L1 latency...
+    r.complete = wt_store(now + l1_lat, addr, pc);  // ...but drains later
+    return r;
+  }
+
+  // L1 load miss (or write-back write miss): go below through the MSHRs
+  // (merging + structural hazards) and allocate the line in L1.
+  ServedBy served = ServedBy::CacheL2;
+  const Cycle below = fill_from_below(now + l1_lat, addr, pc, served);
+  const Addr line = l1d_.line_base(addr);
+  const Cycle ready = mshr_.on_miss(line, now + l1_lat, below);
+
+  if (auto v = l1d_.fill(addr); v && v->dirty) handle_l2_victim(now, *v);
+  if (type == AccessType::Write) l1d_.set_dirty(addr);
+
+  r.served_by = served;
+  r.complete = ready;
+  r.latency = ready - now;
+  return r;
+}
+
+Cycle MemoryHierarchy::dma_read_line(Cycle now, Addr line_addr) {
+  bus_dma_->inc();
+  // Coherent dma-get: snoop the hierarchy top-down; copy from the first
+  // level that holds the line (the SM is internally coherent so any resident
+  // copy is valid), otherwise from main memory.
+  if (l1d_.probe(line_addr)) return now + cfg_.l1d.latency;
+  if (l2_.probe(line_addr)) return now + cfg_.l2.latency;
+  if (l3_.probe(line_addr)) return now + cfg_.l3.latency;
+  return mem_.access(now, AccessType::Read);
+}
+
+Cycle MemoryHierarchy::dma_write_line(Cycle now, Addr line_addr) {
+  bus_dma_->inc();
+  // Coherent dma-put: the line is written to main memory and any cached
+  // copy is invalidated (dirty or not — the DMA data is the valid version,
+  // see §3.4.2: the LM copy is evicted, the cache copy discarded).
+  l1d_.invalidate(line_addr);
+  l2_.invalidate(line_addr);
+  l3_.invalidate(line_addr);
+  return mem_.access(now, AccessType::Write);
+}
+
+void MemoryHierarchy::reset() {
+  for (WcbEntry& e : wcb_) e = WcbEntry{};
+  l2_pool_.reset();
+  l3_pool_.reset();
+  l1d_.flush_all();
+  l2_.flush_all();
+  l3_.flush_all();
+  mem_.reset();
+  mshr_.reset();
+  pf_l1_.reset();
+  pf_l2_.reset();
+  pf_l3_.reset();
+}
+
+std::uint64_t MemoryHierarchy::total_activity(const SetAssocCache& c) {
+  const auto& s = c.stats();
+  return s.value("lookups") + s.value("fills") + s.value("invalidations") + s.value("snoops");
+}
+
+}  // namespace hm

@@ -1,0 +1,167 @@
+// Three-level cache hierarchy + main memory, with per-level IP-based stream
+// prefetchers, MSHRs at L1, and the coherent-DMA bus operations the hybrid
+// memory system requires (§2.1 of the paper):
+//
+//  * dma-get bus requests look the line up in the caches and copy from there
+//    when present, otherwise from main memory;
+//  * dma-put bus requests copy to main memory and invalidate the line in the
+//    whole hierarchy.
+//
+// Timing model: an access that hits at level N pays the sum of the lookup
+// latencies of levels 1..N (sequential lookup, no early restart).  Fills
+// allocate on the whole path back to L1.  Store latency is the L1 latency on
+// a hit — the store buffer hides the write-through — but all induced traffic
+// is counted for activity/energy purposes, matching the accounting of
+// Table 3 ("hits, misses, lookups and invalidations provoked by memory
+// instructions, prefetchers, placement of cache lines by the MSHRs,
+// write-through and write-back policies and bus requests of the DMA
+// commands").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bandwidth.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "memory/cache.hpp"
+#include "memory/main_memory.hpp"
+#include "memory/mshr.hpp"
+#include "memory/prefetcher.hpp"
+
+namespace hm {
+
+struct HierarchyConfig {
+  CacheConfig l1d{.name = "L1D", .size = 32 * 1024, .associativity = 8, .line_size = 64,
+                  .latency = 2, .write_policy = WritePolicy::WriteThrough};
+  CacheConfig l2{.name = "L2", .size = 256 * 1024, .associativity = 24, .line_size = 64,
+                 .latency = 15, .write_policy = WritePolicy::WriteBack};
+  CacheConfig l3{.name = "L3", .size = 4 * 1024 * 1024, .associativity = 32, .line_size = 64,
+                 .latency = 40, .write_policy = WritePolicy::WriteBack};
+  MainMemoryConfig mem{};
+  /// The L1 prefetcher's IP table is small (latency-critical structure);
+  /// loops with many concurrent streams overflow it — the collision effect
+  /// §4.3 reports.  The L2/L3 prefetchers are less latency-constrained and
+  /// carry larger tables, so streams that die in L1 still partially cover
+  /// from L2/L3 (matching the cache-based AMATs of Table 3).
+  PrefetcherConfig pf_l1{.table_entries = 16};
+  PrefetcherConfig pf_l2{.table_entries = 64};
+  PrefetcherConfig pf_l3{.table_entries = 64};
+  MshrConfig mshr{.entries = 16};
+  /// Minimum cycles between request starts at L2/L3 (port bandwidth).  A
+  /// write-through L1 sends every store to L2, so write-heavy loops contend
+  /// here — one of the costs the hybrid machine avoids by serving regular
+  /// stores from the LM.
+  Cycle l2_gap = 3;
+  Cycle l3_gap = 6;
+};
+
+struct AccessResult {
+  Cycle complete = 0;    ///< cycle at which the data is available
+  Cycle latency = 0;     ///< complete - issue cycle
+  ServedBy served_by = ServedBy::CacheL1;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(HierarchyConfig cfg);
+
+  /// Demand access from the core.  @p pc identifies the memory instruction
+  /// for prefetcher training.
+  AccessResult access(Cycle now, Addr addr, AccessType type, Addr pc);
+
+  /// Coherent dma-get bus request for one line: read from the caches if the
+  /// line is resident, else from main memory.  Returns completion cycle.
+  Cycle dma_read_line(Cycle now, Addr line_addr);
+
+  /// Coherent dma-put bus request for one line: write to main memory and
+  /// invalidate the line everywhere in the hierarchy.
+  Cycle dma_write_line(Cycle now, Addr line_addr);
+
+  /// Drop all cache contents and in-flight state.
+  void reset();
+
+  Bytes line_size() const { return cfg_.l1d.line_size; }
+  const HierarchyConfig& config() const { return cfg_; }
+
+  SetAssocCache& l1d() { return l1d_; }
+  SetAssocCache& l2() { return l2_; }
+  SetAssocCache& l3() { return l3_; }
+  MainMemory& memory() { return mem_; }
+  Mshr& mshr() { return mshr_; }
+  StreamPrefetcher& pf_l1() { return pf_l1_; }
+  StreamPrefetcher& pf_l2() { return pf_l2_; }
+  StreamPrefetcher& pf_l3() { return pf_l3_; }
+  const SetAssocCache& l1d() const { return l1d_; }
+  const SetAssocCache& l2() const { return l2_; }
+  const SetAssocCache& l3() const { return l3_; }
+  const MainMemory& memory() const { return mem_; }
+  const Mshr& mshr() const { return mshr_; }
+  const StreamPrefetcher& pf_l1() const { return pf_l1_; }
+  const StreamPrefetcher& pf_l2() const { return pf_l2_; }
+  const StreamPrefetcher& pf_l3() const { return pf_l3_; }
+
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+  /// Total activity at a level (lookups + fills + invalidations + snoops),
+  /// the quantity reported in Table 3's "Accesses" columns.
+  static std::uint64_t total_activity(const SetAssocCache& c);
+
+ private:
+  /// Miss path below L1: lookup L2 then L3 then memory; fill back.  Returns
+  /// the added latency beyond L1 and reports the serving level.
+  Cycle fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served);
+
+  /// Handle a victim evicted from @p level ("L2"/"L3"): dirty lines are
+  /// written down (L2 victim -> L3, L3 victim -> memory).
+  void handle_l2_victim(Cycle now, const EvictedLine& v);
+  void handle_l3_victim(Cycle now, const EvictedLine& v);
+
+  /// Bring a line into L2 from L3/memory (prefetch fill path).
+  void fetch_below_l2(Cycle now, Addr line);
+
+  /// Book one L2 (resp. L3) port slot at or after @p when; returns the start
+  /// cycle.  Models finite cache bandwidth.
+  Cycle book_l2(Cycle when);
+  Cycle book_l3(Cycle when);
+
+  /// Write-combining buffer for write-through stores: stores to a line with
+  /// a pending write merge into it instead of consuming another L2 slot.
+  /// Returns the drain cycle of the write (merged or newly booked).
+  Cycle wt_store(Cycle now, Addr addr, Addr pc);
+
+  void run_prefetches_l1(Cycle now, Addr pc, Addr addr);
+  void run_prefetches_l2(Cycle now, Addr pc, Addr addr);
+  void run_prefetches_l3(Cycle now, Addr pc, Addr addr);
+
+  HierarchyConfig cfg_;
+  SetAssocCache l1d_;
+  SetAssocCache l2_;
+  SetAssocCache l3_;
+  MainMemory mem_;
+  Mshr mshr_;
+  StreamPrefetcher pf_l1_;
+  StreamPrefetcher pf_l2_;
+  StreamPrefetcher pf_l3_;
+  struct WcbEntry {
+    Addr line = kNoAddr;
+    Cycle drain = 0;
+  };
+  static constexpr unsigned kWcbEntries = 4;
+  WcbEntry wcb_[kWcbEntries] = {};
+  BandwidthPool l2_pool_;
+  BandwidthPool l3_pool_;
+  StatGroup stats_;
+  Counter* loads_;
+  Counter* stores_;
+  Counter* writethrough_traffic_;
+  Counter* bus_l1_l2_;
+  Counter* bus_l2_l3_;
+  Counter* bus_l3_mem_;
+  Counter* bus_dma_;
+  Counter* l2_queue_cycles_;
+  Counter* l3_queue_cycles_;
+};
+
+}  // namespace hm

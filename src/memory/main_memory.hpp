@@ -1,0 +1,54 @@
+// Flat DRAM model: fixed access latency plus a simple bandwidth/bank-conflict
+// approximation (consecutive accesses closer than `gap` cycles queue up).
+#pragma once
+
+#include <string>
+
+#include "common/bandwidth.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hm {
+
+struct MainMemoryConfig {
+  Cycle latency = 200;  ///< row access latency, cycles
+  Cycle gap = 4;        ///< minimum cycles between request starts (bandwidth)
+};
+
+class MainMemory {
+ public:
+  explicit MainMemory(MainMemoryConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.gap), stats_("main_memory"),
+        accesses_(&stats_.counter("accesses")),
+        reads_(&stats_.counter("reads")),
+        writes_(&stats_.counter("writes")),
+        queue_cycles_(&stats_.counter("queue_cycles")) {}
+
+  /// Access at cycle @p now; returns completion cycle.  Bank-level
+  /// parallelism is approximated by a bandwidth pool: one request may start
+  /// per `gap` cycles, with out-of-order slot filling.
+  Cycle access(Cycle now, AccessType type) {
+    accesses_->inc();
+    (type == AccessType::Read ? reads_ : writes_)->inc();
+    const Cycle start = pool_.book(now);
+    if (start > now) queue_cycles_->inc(start - now);
+    return start + cfg_.latency;
+  }
+
+  void reset(Cycle now = 0) { (void)now; pool_.reset(); }
+
+  const MainMemoryConfig& config() const { return cfg_; }
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+ private:
+  MainMemoryConfig cfg_;
+  BandwidthPool pool_;
+  StatGroup stats_;
+  Counter* accesses_;
+  Counter* reads_;
+  Counter* writes_;
+  Counter* queue_cycles_;
+};
+
+}  // namespace hm

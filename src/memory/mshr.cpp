@@ -1,0 +1,50 @@
+#include "memory/mshr.hpp"
+
+#include <algorithm>
+
+namespace hm {
+
+Mshr::Mshr(std::string name, MshrConfig cfg) : cfg_(cfg), stats_(std::move(name)) {
+  entries_.resize(cfg_.entries);
+  allocations_ = &stats_.counter("allocations");
+  merges_ = &stats_.counter("merges");
+  structural_stalls_ = &stats_.counter("structural_stalls");
+  stall_cycles_ = &stats_.counter("stall_cycles");
+}
+
+Cycle Mshr::on_miss(Addr line_addr, Cycle now, Cycle fill_latency) {
+  // Merge with an in-flight fill of the same line.
+  for (const Entry& e : entries_) {
+    if (e.line == line_addr && e.ready > now) {
+      merges_->inc();
+      return e.ready;
+    }
+  }
+
+  // Find a free entry, or the one that frees up first.
+  Entry* slot = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.ready <= now) {
+      slot = &e;
+      break;
+    }
+    if (e.ready < slot->ready) slot = &e;
+  }
+
+  Cycle start = now;
+  if (slot->ready > now) {
+    structural_stalls_->inc();
+    stall_cycles_->inc(slot->ready - now);
+    start = slot->ready;
+  }
+  allocations_->inc();
+  slot->line = line_addr;
+  slot->ready = start + fill_latency;
+  return slot->ready;
+}
+
+void Mshr::reset(Cycle now) {
+  for (Entry& e : entries_) e = Entry{.line = kNoAddr, .ready = now};
+}
+
+}  // namespace hm

@@ -1,0 +1,67 @@
+// IP-based stream prefetcher (Table 1: "IP-based stream prefetcher to L1, L2
+// and L3", after Chen & Baer and Intel's smart memory access).
+//
+// The prefetcher keeps a small history table indexed by a hash of the
+// instruction pointer.  Each entry tracks the last line touched by that IP
+// and the observed stride; once the stride repeats enough times the entry is
+// confident and the prefetcher issues `degree` line fills ahead of the
+// stream.
+//
+// The table is deliberately small: the paper's analysis (§4.3) hinges on the
+// fact that loops with many concurrent strided streams overflow the history
+// table ("collisions in the history tables of the prefetchers"), wasting
+// prefetches and polluting the caches.  Collisions are counted so the
+// ablation bench can show this effect directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hm {
+
+struct PrefetcherConfig {
+  unsigned table_entries = 16;     ///< IP history table size (power of two)
+  unsigned degree = 4;             ///< lines prefetched per trigger
+  unsigned confidence_threshold = 2;  ///< stride repeats before prefetching
+  bool enabled = true;
+};
+
+class StreamPrefetcher {
+ public:
+  StreamPrefetcher(std::string name, PrefetcherConfig cfg, Bytes line_size);
+
+  /// Observe a demand access at @p pc touching @p addr.  Returns the list of
+  /// line base addresses to prefetch (possibly empty).
+  std::vector<Addr> train(Addr pc, Addr addr);
+
+  void reset();
+
+  const PrefetcherConfig& config() const { return cfg_; }
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t ip_tag = 0;     // full pc for collision detection; 0 = empty
+    Addr last_line = kNoAddr;
+    std::int64_t stride = 0;      // in lines
+    unsigned confidence = 0;
+  };
+
+  std::size_t index_of(Addr pc) const;
+
+  PrefetcherConfig cfg_;
+  Bytes line_size_;
+  std::vector<Entry> table_;
+  StatGroup stats_;
+  Counter* trainings_;
+  Counter* collisions_;
+  Counter* prefetches_issued_;
+  Counter* triggers_;
+};
+
+}  // namespace hm

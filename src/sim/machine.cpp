@@ -1,0 +1,74 @@
+#include "sim/machine.hpp"
+
+#include <sstream>
+
+namespace hm {
+
+const char* to_string(MachineKind k) {
+  switch (k) {
+    case MachineKind::HybridCoherent: return "Hybrid coherent";
+    case MachineKind::HybridOracle: return "Hybrid oracle (incoherent)";
+    case MachineKind::CacheBased: return "Cache-based";
+  }
+  return "?";
+}
+
+MachineConfig MachineConfig::hybrid_coherent() {
+  MachineConfig m;
+  m.kind = MachineKind::HybridCoherent;
+  return m;  // defaults are exactly Table 1
+}
+
+MachineConfig MachineConfig::hybrid_oracle() {
+  MachineConfig m;
+  m.kind = MachineKind::HybridOracle;
+  m.core.oracle_divert = true;
+  return m;
+}
+
+MachineConfig MachineConfig::cache_based() {
+  MachineConfig m;
+  m.kind = MachineKind::CacheBased;
+  // "For fairness, the capacity of the L1 of the cache-based system is
+  // increased to 64KB, matching the 32KB of LM plus the 32KB of L1" (§4.3).
+  m.hierarchy.l1d.size = 64 * 1024;
+  return m;
+}
+
+std::string MachineConfig::describe() const {
+  std::ostringstream os;
+  const auto cache_line = [&](const CacheConfig& c) {
+    os << "  " << c.name << ": " << c.size / 1024 << " KB, " << c.associativity
+       << "-way set-associative, "
+       << (c.write_policy == WritePolicy::WriteThrough ? "write-through" : "write-back") << ", "
+       << c.latency << " cycles latency\n";
+  };
+  os << "Machine: " << to_string(kind) << "\n";
+  os << "  Pipeline: out-of-order, " << core.fetch_width << " instructions wide\n";
+  os << "  Branch predictor: hybrid " << core.bpred.selector_entries / 1024 << "K selector, "
+     << core.bpred.gshare_entries / 1024 << "K G-share, " << core.bpred.bimodal_entries / 1024
+     << "K bimodal, " << core.bpred.btb_entries / 1024 << "K BTB " << core.bpred.btb_ways
+     << "-way, RAS " << core.bpred.ras_entries << " entries\n";
+  os << "  Functional units: " << core.int_alus << " INT ALUs, " << core.fp_alus
+     << " FP ALUs, " << core.lsu_ports << " load/store units\n";
+  os << "  ROB: " << core.rob_size << " entries\n";
+  cache_line(hierarchy.l1d);
+  cache_line(hierarchy.l2);
+  cache_line(hierarchy.l3);
+  os << "  Prefetcher: IP-based stream prefetcher to L1, L2 and L3 ("
+     << hierarchy.pf_l1.table_entries << "-entry history tables, degree "
+     << hierarchy.pf_l1.degree << ")\n";
+  os << "  Main memory: " << hierarchy.mem.latency << " cycles latency\n";
+  if (has_lm()) {
+    os << "  Local memory: " << lm.size / 1024 << " KB, " << lm.latency << " cycles latency\n";
+    os << "  DMA controller: startup " << dma.startup << " cycles, " << dma.per_line
+       << " cycles/line\n";
+  }
+  if (has_directory_hardware()) {
+    os << "  Coherence directory: " << directory.entries << " entries (CAM), lookup folded "
+       << "into the AGU cycle\n";
+  }
+  return os.str();
+}
+
+}  // namespace hm

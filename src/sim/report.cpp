@@ -1,0 +1,74 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hm {
+
+Table3Row make_table3_row(const std::string& benchmark, const std::string& mode,
+                          unsigned guarded, unsigned total_refs, const RunReport& report) {
+  Table3Row row;
+  row.benchmark = benchmark;
+  row.mode = mode;
+  {
+    std::ostringstream os;
+    const double pct = total_refs == 0 ? 0.0 : 100.0 * guarded / total_refs;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%u/%u (%.0f%%)", guarded, total_refs, pct);
+    os << buf;
+    row.guarded_refs = os.str();
+  }
+  row.amat = report.amat;
+  row.l1_hit_ratio = report.l1_hit_ratio;
+  row.l1_accesses = report.l1_accesses / 1000;  // thousands, as in the paper
+  row.l2_accesses = report.l2_accesses / 1000;
+  row.l3_accesses = report.l3_accesses / 1000;
+  row.lm_accesses = report.lm_accesses / 1000;
+  row.directory_accesses = report.directory_accesses / 1000;
+  return row;
+}
+
+std::string format_table3(const std::vector<Table3Row>& rows) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-6s %-16s %-14s %7s %8s %10s %10s %10s %10s %10s\n",
+                "Bench", "Mode", "Guarded", "AMAT", "L1 hit%", "L1 acc(k)", "L2 acc(k)",
+                "L3 acc(k)", "LM acc(k)", "Dir acc(k)");
+  os << buf;
+  for (const Table3Row& r : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-6s %-16s %-14s %7.2f %8.2f %10llu %10llu %10llu %10llu %10llu\n",
+                  r.benchmark.c_str(), r.mode.c_str(), r.guarded_refs.c_str(), r.amat,
+                  r.l1_hit_ratio, static_cast<unsigned long long>(r.l1_accesses),
+                  static_cast<unsigned long long>(r.l2_accesses),
+                  static_cast<unsigned long long>(r.l3_accesses),
+                  static_cast<unsigned long long>(r.lm_accesses),
+                  static_cast<unsigned long long>(r.directory_accesses));
+    os << buf;
+  }
+  return os.str();
+}
+
+PhaseSplit phase_split(const RunReport& report, Cycle normalize_to) {
+  PhaseSplit s;
+  if (normalize_to == 0) return s;
+  const double n = static_cast<double>(normalize_to);
+  s.work = static_cast<double>(report.core.phase_cycles[static_cast<unsigned>(ExecPhase::Work)]) / n;
+  s.control =
+      static_cast<double>(report.core.phase_cycles[static_cast<unsigned>(ExecPhase::Control)]) / n;
+  s.synch =
+      static_cast<double>(report.core.phase_cycles[static_cast<unsigned>(ExecPhase::Synch)]) / n;
+  return s;
+}
+
+EnergySplit energy_split(const RunReport& report, PicoJoule normalize_to) {
+  EnergySplit s;
+  if (normalize_to <= 0.0) return s;
+  s.cpu = report.energy.cpu / normalize_to;
+  s.caches = report.energy.caches / normalize_to;
+  s.lm = report.energy.lm / normalize_to;
+  s.others = report.energy.others / normalize_to;
+  return s;
+}
+
+}  // namespace hm

@@ -1,0 +1,52 @@
+// Formatting helpers that regenerate the paper's tables and figure series
+// from RunReports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace hm {
+
+/// One row of Table 3 ("Activity in the memory subsystem").
+struct Table3Row {
+  std::string benchmark;
+  std::string mode;               ///< "Hybrid coherent" / "Cache-based"
+  std::string guarded_refs;       ///< e.g. "1/7 (14%)"
+  double amat = 0.0;
+  double l1_hit_ratio = 0.0;
+  std::uint64_t l1_accesses = 0;  ///< in thousands, like the paper
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l3_accesses = 0;
+  std::uint64_t lm_accesses = 0;
+  std::uint64_t directory_accesses = 0;
+};
+
+Table3Row make_table3_row(const std::string& benchmark, const std::string& mode,
+                          unsigned guarded, unsigned total_refs, const RunReport& report);
+
+std::string format_table3(const std::vector<Table3Row>& rows);
+
+/// Fig. 9-style row: normalized execution time split into phases.
+struct PhaseSplit {
+  double work = 0.0;
+  double synch = 0.0;
+  double control = 0.0;
+  double total() const { return work + synch + control; }
+};
+
+PhaseSplit phase_split(const RunReport& report, Cycle normalize_to);
+
+/// Fig. 10-style row: normalized energy split into components.
+struct EnergySplit {
+  double cpu = 0.0;
+  double caches = 0.0;
+  double lm = 0.0;
+  double others = 0.0;
+  double total() const { return cpu + caches + lm + others; }
+};
+
+EnergySplit energy_split(const RunReport& report, PicoJoule normalize_to);
+
+}  // namespace hm

@@ -1,0 +1,108 @@
+#include "sim/system.hpp"
+
+namespace hm {
+
+System::System(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      hierarchy_(cfg_.hierarchy),
+      lm_(cfg_.has_lm() ? std::optional<LocalMemory>(LocalMemory(cfg_.lm)) : std::nullopt),
+      // The oracle machine keeps a directory object: the DMAC updates it so
+      // the core's zero-cost peek can find the valid copy.  Only the
+      // HybridCoherent machine pays for it (energy/latency).
+      directory_(cfg_.has_lm() ? std::optional<CoherenceDirectory>(
+                                     CoherenceDirectory(cfg_.directory))
+                               : std::nullopt),
+      dmac_(cfg_.has_lm()
+                ? std::optional<DmaController>(DmaController(
+                      cfg_.dma, hierarchy_, *lm_, directory_ ? &*directory_ : nullptr, &image_))
+                : std::nullopt),
+      core_(cfg_.core, hierarchy_, lm_ ? &*lm_ : nullptr, directory_ ? &*directory_ : nullptr,
+            dmac_ ? &*dmac_ : nullptr, &image_),
+      energy_model_(cfg_.energy) {}
+
+void System::reset_timing_state() {
+  hierarchy_.reset();
+  if (dmac_) dmac_->reset();
+  core_.bpred().reset();
+
+  // Clear all statistics so every run reports its own activity.
+  hierarchy_.stats().reset_all();
+  hierarchy_.l1d().stats().reset_all();
+  hierarchy_.l2().stats().reset_all();
+  hierarchy_.l3().stats().reset_all();
+  hierarchy_.memory().stats().reset_all();
+  hierarchy_.mshr().stats().reset_all();
+  hierarchy_.pf_l1().stats().reset_all();
+  hierarchy_.pf_l2().stats().reset_all();
+  hierarchy_.pf_l3().stats().reset_all();
+  core_.stats().reset_all();
+  core_.bpred().stats().reset_all();
+  if (lm_) lm_->stats().reset_all();
+  if (directory_) directory_->stats().reset_all();
+  if (dmac_) dmac_->stats().reset_all();
+}
+
+ActivityCounts System::collect_activity(const RunResult& res) const {
+  ActivityCounts a;
+  a.l1_activity = MemoryHierarchy::total_activity(hierarchy_.l1d());
+  a.l2_activity = MemoryHierarchy::total_activity(hierarchy_.l2());
+  a.l3_activity = MemoryHierarchy::total_activity(hierarchy_.l3());
+  a.mem_accesses = hierarchy_.memory().stats().value("accesses");
+  a.lm_accesses = lm_ ? lm_->stats().value("accesses") : 0;
+  a.dir_lookups = directory_ ? directory_->stats().value("lookups") : 0;
+  a.dir_updates = directory_ ? directory_->stats().value("updates") : 0;
+
+  const StatGroup& cs = core_.stats();
+  a.fetch_groups = cs.value("fetch_groups");
+  a.uops = res.uops;
+  a.regfile_reads = cs.value("regfile_reads");
+  a.regfile_writes = cs.value("regfile_writes");
+  a.int_ops = cs.value("int_ops");
+  a.fp_ops = cs.value("fp_ops");
+  a.branches = cs.value("branches");
+  a.mem_uops = cs.value("loads") + cs.value("stores");
+  a.replay_uops = cs.value("replay_uops");
+  a.flushed_slots = cs.value("flushed_slots");
+
+  const auto pf_sum = [&](const char* counter) {
+    return hierarchy_.pf_l1().stats().value(counter) + hierarchy_.pf_l2().stats().value(counter) +
+           hierarchy_.pf_l3().stats().value(counter);
+  };
+  a.prefetch_trainings = pf_sum("trainings");
+  a.prefetch_issues = pf_sum("prefetches_issued");
+  a.dma_lines = dmac_ ? dmac_->stats().value("lines") : 0;
+
+  const StatGroup& hs = hierarchy_.stats();
+  a.bus_transfers = hs.value("bus_l1_l2") + hs.value("bus_l2_l3") + hs.value("bus_l3_mem") +
+                    hs.value("bus_dma");
+
+  a.cycles = res.cycles;
+  a.l1_size = cfg_.hierarchy.l1d.size;
+  a.has_lm = cfg_.has_lm();
+  // The oracle baseline models an incoherent machine without directory
+  // hardware: no directory energy is charged (§4.2).
+  a.has_directory = cfg_.has_directory_hardware();
+  return a;
+}
+
+RunReport System::run(InstrStream& program) {
+  reset_timing_state();
+  program.reset();
+
+  RunReport report;
+  report.core = core_.run(program);
+  report.activity = collect_activity(report.core);
+  report.energy = energy_model_.compute(report.activity);
+
+  report.amat = report.core.amat();
+  const auto& l1s = hierarchy_.l1d().stats();
+  report.l1_hit_ratio = 100.0 * safe_ratio(l1s.value("hits"), l1s.value("lookups"));
+  report.l1_accesses = report.activity.l1_activity;
+  report.l2_accesses = report.activity.l2_activity;
+  report.l3_accesses = report.activity.l3_activity;
+  report.lm_accesses = report.activity.lm_accesses;
+  report.directory_accesses = report.activity.dir_lookups + report.activity.dir_updates;
+  return report;
+}
+
+}  // namespace hm

@@ -1,0 +1,74 @@
+// Top-level simulated system: one core plus its memory subsystem, wired per
+// MachineConfig, with run-level reporting (activity, AMAT, energy breakdown,
+// phase cycles) — everything the paper's tables and figures consume.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "coherence/directory.hpp"
+#include "common/byte_store.hpp"
+#include "core/isa.hpp"
+#include "core/ooo_core.hpp"
+#include "energy/energy.hpp"
+#include "lm/dmac.hpp"
+#include "lm/local_memory.hpp"
+#include "memory/hierarchy.hpp"
+#include "sim/machine.hpp"
+
+namespace hm {
+
+/// Everything measured in one run; the inputs to Table 3 and Figs. 7-10.
+struct RunReport {
+  RunResult core;               ///< cycles, phase split, uops, AMAT samples
+  EnergyBreakdown energy;       ///< Fig. 10 component split
+  ActivityCounts activity;      ///< raw counts fed to the energy model
+
+  // Table 3 rows.
+  double amat = 0.0;
+  double l1_hit_ratio = 0.0;    ///< percent
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l3_accesses = 0;
+  std::uint64_t lm_accesses = 0;
+  std::uint64_t directory_accesses = 0;
+
+  Cycle cycles() const { return core.cycles; }
+  PicoJoule total_energy() const { return energy.total(); }
+};
+
+class System {
+ public:
+  explicit System(MachineConfig cfg);
+
+  /// Run @p program to completion on a cold machine (caches, MSHRs,
+  /// predictors and DMA state reset; all statistics cleared).  The
+  /// functional memory image is preserved across runs — clear_image() starts
+  /// a fresh one.
+  RunReport run(InstrStream& program);
+
+  ByteStore& image() { return image_; }
+  void clear_image() { image_.clear(); }
+
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  LocalMemory* lm() { return lm_ ? &*lm_ : nullptr; }
+  CoherenceDirectory* directory() { return directory_ ? &*directory_ : nullptr; }
+  DmaController* dmac() { return dmac_ ? &*dmac_ : nullptr; }
+  OooCore& core() { return core_; }
+  const MachineConfig& config() const { return cfg_; }
+
+ private:
+  void reset_timing_state();
+  ActivityCounts collect_activity(const RunResult& res) const;
+
+  MachineConfig cfg_;
+  ByteStore image_;
+  MemoryHierarchy hierarchy_;
+  std::optional<LocalMemory> lm_;
+  std::optional<CoherenceDirectory> directory_;
+  std::optional<DmaController> dmac_;
+  OooCore core_;
+  EnergyModel energy_model_;
+};
+
+}  // namespace hm

@@ -1,0 +1,110 @@
+#include "workloads/microbench.hpp"
+
+namespace hm {
+
+const char* to_string(MicroMode m) {
+  switch (m) {
+    case MicroMode::Baseline: return "Baseline";
+    case MicroMode::RD: return "RD";
+    case MicroMode::WR: return "WR";
+    case MicroMode::RDWR: return "RD/WR";
+  }
+  return "?";
+}
+
+Microbenchmark::Microbenchmark(MicrobenchConfig cfg) : cfg_(cfg) { reset(); }
+
+void Microbenchmark::reset() {
+  iter_ = 0;
+  emitted_config_ = false;
+  queue_.clear();
+  queue_pos_ = 0;
+}
+
+std::uint64_t Microbenchmark::total_uops() const {
+  // Per iteration: load + add + store + branch, plus the extra store of the
+  // double store on guarded WR iterations.
+  std::uint64_t per_iter = 4;
+  std::uint64_t extra = 0;
+  if (cfg_.mode == MicroMode::WR || cfg_.mode == MicroMode::RDWR) {
+    extra = (cfg_.iterations * cfg_.guarded_pct) / 100;
+  }
+  return cfg_.iterations * per_iter + extra + 1;  // +1 dir.config
+}
+
+void Microbenchmark::emit_iteration(std::uint64_t i) {
+  // Deterministic guard pattern: iteration i is guarded iff (i mod 100) falls
+  // below the requested percentage.
+  const bool guarded = (i % 100) < cfg_.guarded_pct;
+  const std::uint64_t e = i % (cfg_.elements - 1);
+  const Addr load_addr = cfg_.array_base + e * 8;
+  const Addr store_addr = cfg_.array_base + (e + 1) * 8;
+
+  // Rotating register windows for cross-iteration ILP.
+  const std::uint8_t r_load = static_cast<std::uint8_t>(1 + (i % 4) * 3);
+  const std::uint8_t r_sum = static_cast<std::uint8_t>(r_load + 1);
+
+  MicroOp ld;
+  ld.kind = (guarded && (cfg_.mode == MicroMode::RD || cfg_.mode == MicroMode::RDWR))
+                ? OpKind::GuardedLoad
+                : OpKind::Load;
+  ld.pc = cfg_.code_base;
+  ld.addr = load_addr;
+  ld.dst = r_load;
+  queue_.push_back(ld);
+
+  MicroOp add;
+  add.kind = OpKind::IntAlu;
+  add.pc = cfg_.code_base + 4;
+  add.src1 = r_load;
+  add.dst = r_sum;
+  queue_.push_back(add);
+
+  const bool guarded_store =
+      guarded && (cfg_.mode == MicroMode::WR || cfg_.mode == MicroMode::RDWR);
+  MicroOp st;
+  st.kind = guarded_store ? OpKind::GuardedStore : OpKind::Store;
+  st.pc = cfg_.code_base + 8;
+  st.addr = store_addr;
+  st.src1 = r_sum;
+  queue_.push_back(st);
+  if (guarded_store) {
+    // The double store: a conventional store with the same source operands
+    // that always updates the copy in the SM (§3.1).
+    MicroOp st2 = st;
+    st2.kind = OpKind::Store;
+    st2.pc = cfg_.code_base + 12;
+    queue_.push_back(st2);
+  }
+
+  MicroOp br;
+  br.kind = OpKind::Branch;
+  br.pc = cfg_.code_base + 16;
+  br.taken = (i + 1) < cfg_.iterations;
+  br.target = cfg_.code_base;
+  queue_.push_back(br);
+}
+
+bool Microbenchmark::next(MicroOp& op) {
+  if (queue_pos_ >= queue_.size()) {
+    queue_.clear();
+    queue_pos_ = 0;
+    if (!emitted_config_) {
+      emitted_config_ = true;
+      MicroOp cfg_op;
+      cfg_op.kind = OpKind::DirConfig;
+      cfg_op.pc = cfg_.code_base - 4;
+      cfg_op.dir_buffer_size = cfg_.dir_buffer_size;
+      cfg_op.phase = ExecPhase::Control;
+      queue_.push_back(cfg_op);
+    } else if (iter_ < cfg_.iterations) {
+      emit_iteration(iter_++);
+    } else {
+      return false;
+    }
+  }
+  op = queue_[queue_pos_++];
+  return true;
+}
+
+}  // namespace hm

@@ -1,0 +1,202 @@
+// Unit tests for phase 1 of the compiler support: reference classification
+// and the double-store decision (§3.1).
+#include <gtest/gtest.h>
+
+#include "compiler/classify.hpp"
+
+namespace hm {
+namespace {
+
+/// The Fig. 3 example: a and b strided; c irregular (proven no-alias);
+/// ptr a pointer chase the analysis cannot bound.
+LoopNest fig3_loop() {
+  LoopNest loop;
+  loop.name = "fig3";
+  loop.arrays = {
+      {.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "b", .base = 0x11'0000, .elem_size = 8, .elements = 4096},
+      {.name = "c", .base = 0x21'0000, .elem_size = 8, .elements = 4096},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1,
+       .is_write = true},
+      {.name = "b[i]", .array = 1, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "c[rand]", .array = 2, .pattern = PatternKind::Indirect, .is_write = true},
+      {.name = "ptr[..]", .array = 0, .pattern = PatternKind::PointerChase},
+  };
+  loop.iterations = 4096;
+  return loop;
+}
+
+TEST(Classify, Fig3Example) {
+  LoopNest loop = fig3_loop();
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[2].cls, RefClass::Irregular);             // c: proven no alias
+  EXPECT_EQ(c.refs[3].cls, RefClass::PotentiallyIncoherent); // ptr: may alias
+  EXPECT_EQ(c.num_regular, 2u);
+  EXPECT_EQ(c.num_irregular, 1u);
+  EXPECT_EQ(c.num_potentially_incoherent, 1u);
+}
+
+TEST(Classify, BuffersAssignedInProgramOrder) {
+  LoopNest loop = fig3_loop();
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].lm_buffer, 0);
+  EXPECT_EQ(c.refs[1].lm_buffer, 1);
+  EXPECT_EQ(c.refs[2].lm_buffer, -1);
+}
+
+TEST(Classify, PointerChaseWriteNeedsDoubleStore) {
+  LoopNest loop = fig3_loop();
+  loop.refs[3].is_write = true;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_TRUE(c.refs[3].needs_double_store);
+}
+
+TEST(Classify, PotentiallyIncoherentReadNeedsNoDoubleStore) {
+  LoopNest loop = fig3_loop();
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_FALSE(c.refs[3].needs_double_store);
+}
+
+TEST(Classify, IndirectWriteAliasingWrittenArrayAvoidsDoubleStore) {
+  // If the write can only alias buffers that will be written back, a single
+  // guarded store suffices (§3.1).
+  LoopNest loop;
+  loop.name = "wb";
+  loop.arrays = {
+      {.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1,
+       .is_write = true},                                                  // written => write-back
+      {.name = "a[idx]", .array = 0, .pattern = PatternKind::Indirect, .is_write = true},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[1].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_FALSE(c.refs[1].needs_double_store);
+}
+
+TEST(Classify, IndirectWriteAliasingReadOnlyArrayNeedsDoubleStore) {
+  LoopNest loop;
+  loop.name = "ro";
+  loop.arrays = {
+      {.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},  // read-only
+      {.name = "a[idx]", .array = 0, .pattern = PatternKind::Indirect, .is_write = true},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[1].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_TRUE(c.refs[1].needs_double_store);
+}
+
+TEST(Classify, NonStridedAliasingNothingMappedIsIrregular) {
+  // A pointer chase in a loop with no regular references cannot be
+  // potentially incoherent: nothing is in the LM.
+  LoopNest loop;
+  loop.name = "none";
+  loop.arrays = {{.name = "c", .base = 0x1'0000, .elem_size = 8, .elements = 4096}};
+  loop.refs = {{.name = "*p", .array = 0, .pattern = PatternKind::PointerChase}};
+  loop.iterations = 128;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Irregular);
+  EXPECT_EQ(c.num_regular, 0u);
+}
+
+TEST(Classify, ExplicitNoAliasFactMakesIrregular) {
+  LoopNest loop = fig3_loop();
+  loop.alias_facts.push_back({.ref_a = 3, .ref_b = 0, .verdict = AliasVerdict::NoAlias});
+  loop.alias_facts.push_back({.ref_a = 3, .ref_b = 1, .verdict = AliasVerdict::NoAlias});
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[3].cls, RefClass::Irregular);
+  EXPECT_EQ(c.num_potentially_incoherent, 0u);
+}
+
+TEST(Classify, BufferCapDemotesExcessStridedRefs) {
+  // §3.2: loops with more than 32 regular references simply don't map the
+  // excess to the LM.
+  LoopNest loop;
+  loop.name = "big";
+  for (unsigned i = 0; i < 40; ++i) {
+    loop.arrays.push_back({.name = "s" + std::to_string(i),
+                           .base = 0x10'0000 * (i + 1), .elem_size = 8, .elements = 4096});
+    loop.refs.push_back({.name = "s" + std::to_string(i), .array = i,
+                         .pattern = PatternKind::Strided, .stride = 1});
+  }
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle, /*max_buffers=*/32);
+  EXPECT_EQ(c.num_regular, 32u);
+  EXPECT_EQ(c.demoted_regular, 8u);
+  EXPECT_EQ(c.refs[31].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[32].cls, RefClass::Irregular);
+  EXPECT_EQ(c.refs[32].lm_buffer, -1);
+}
+
+TEST(Classify, AliasWithDemotedRefIsNotIncoherent) {
+  // A may-alias with a strided ref that was NOT mapped creates no coherence
+  // hazard: both copies live in the SM.
+  LoopNest loop;
+  loop.name = "demoted";
+  for (unsigned i = 0; i < 3; ++i) {
+    loop.arrays.push_back({.name = "s" + std::to_string(i),
+                           .base = 0x10'0000 * (i + 1), .elem_size = 8, .elements = 4096});
+    loop.refs.push_back({.name = "s" + std::to_string(i), .array = i,
+                         .pattern = PatternKind::Strided, .stride = 1});
+  }
+  // Indirect over array 2, whose strided ref will be demoted with cap=2.
+  loop.refs.push_back({.name = "x", .array = 2, .pattern = PatternKind::Indirect});
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle, /*max_buffers=*/2);
+  EXPECT_EQ(c.refs[2].cls, RefClass::Irregular);  // demoted
+  EXPECT_EQ(c.refs[3].cls, RefClass::Irregular);  // aliases only SM data
+}
+
+TEST(Classify, GuardedRefsCount) {
+  LoopNest loop = fig3_loop();
+  loop.refs[3].is_write = true;
+  loop.refs.push_back({.name = "q", .array = 1, .pattern = PatternKind::Indirect});
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.guarded_refs(), 2u);
+  EXPECT_EQ(c.total_refs(), 5u);
+}
+
+class BufferCapSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BufferCapSweep, NeverMoreRegularsThanCap) {
+  const unsigned cap = GetParam();
+  LoopNest loop;
+  loop.name = "cap";
+  for (unsigned i = 0; i < 48; ++i) {
+    loop.arrays.push_back({.name = "s" + std::to_string(i),
+                           .base = 0x10'0000 * (i + 1), .elem_size = 8, .elements = 1024});
+    loop.refs.push_back({.name = "s" + std::to_string(i), .array = i,
+                         .pattern = PatternKind::Strided, .stride = 1});
+  }
+  loop.iterations = 1024;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle, cap);
+  EXPECT_EQ(c.num_regular, std::min(48u, cap));
+  EXPECT_EQ(c.num_regular + c.demoted_regular, 48u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, BufferCapSweep, ::testing::Values(1, 2, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace hm

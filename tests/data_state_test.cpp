@@ -1,0 +1,218 @@
+// Tests for the executable Fig. 6 replication state machine and the §3.4
+// correctness invariants.
+#include <gtest/gtest.h>
+
+#include "coherence/data_state.hpp"
+
+namespace hm {
+namespace {
+
+TEST(DataState, StartsInMainMemory) {
+  DataStateMachine sm;
+  EXPECT_EQ(sm.state(), ReplState::MM);
+  EXPECT_EQ(sm.validity(), Validity::Single);
+  EXPECT_TRUE(sm.evicted());
+}
+
+TEST(DataState, MmToLmViaMap) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  EXPECT_EQ(sm.state(), ReplState::LM);
+}
+
+TEST(DataState, MmToCmViaAccess) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  EXPECT_EQ(sm.state(), ReplState::CM);
+}
+
+TEST(DataState, LmWritebackDoesNotUnmap) {
+  // §3.4.1: "an LM-writeback action does not imply a switch to the MM state".
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::LMWriteback);
+  EXPECT_EQ(sm.state(), ReplState::LM);
+}
+
+TEST(DataState, LmUnmapReturnsToMm) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::LMUnmap);
+  EXPECT_EQ(sm.state(), ReplState::MM);
+}
+
+TEST(DataState, DoubleStoreCreatesIdenticalReplicas) {
+  // The LM -> LM-CM path: only the double store can create the cache copy,
+  // and the two copies it leaves are identical (§3.4.1).
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::DoubleStore);
+  EXPECT_EQ(sm.state(), ReplState::LMCM);
+  EXPECT_EQ(sm.validity(), Validity::Identical);
+  EXPECT_TRUE(sm.lm_copy_valid_or_identical());
+}
+
+TEST(DataState, MapOverCachedCopyIsIdentical) {
+  // The CM -> LM-CM path: DMA coherence guarantees identical copies.
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  EXPECT_EQ(sm.state(), ReplState::LMCM);
+  EXPECT_EQ(sm.validity(), Validity::Identical);
+}
+
+TEST(DataState, GuardedStoreMakesLmValid) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::GuardedStore);
+  EXPECT_EQ(sm.validity(), Validity::LmValid);
+  EXPECT_TRUE(sm.lm_copy_valid_or_identical());  // invariant I1
+}
+
+TEST(DataState, DoubleStoreRestoresIdentity) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::GuardedStore);
+  sm.apply(ReplEvent::DoubleStore);
+  EXPECT_EQ(sm.validity(), Validity::Identical);
+}
+
+TEST(DataState, WritebackFromLmCmInvalidatesCacheCopy) {
+  // §3.4.2: the dma-put evicts the LM (valid) version and discards the cache
+  // version: LM-CM -> LM.
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::GuardedStore);
+  sm.apply(ReplEvent::LMWriteback);
+  EXPECT_EQ(sm.state(), ReplState::LM);
+  EXPECT_EQ(sm.validity(), Validity::Single);
+}
+
+TEST(DataState, CmEvictFromLmCmLeavesLmCopy) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  sm.apply(ReplEvent::CMEvict);
+  EXPECT_EQ(sm.state(), ReplState::LM);
+}
+
+TEST(DataState, UnmapFromLmCmLegalOnlyWhenIdentical) {
+  // The programming model only reuses a buffer after writing back modified
+  // data; unmapping a modified chunk loses the valid copy — illegal.
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  EXPECT_TRUE(sm.legal(ReplEvent::LMUnmap));  // identical: fine
+  sm.apply(ReplEvent::GuardedStore);          // LM now strictly newer
+  EXPECT_FALSE(sm.legal(ReplEvent::LMUnmap));
+  EXPECT_THROW(sm.apply(ReplEvent::LMUnmap), ProtocolViolation);
+}
+
+TEST(DataState, UnguardedCacheAccessToLmMappedDataIsViolation) {
+  // The compiler must never emit a plain SM access to data in the LM state
+  // (§3.4.1: "It is impossible to have unguarded memory instructions").
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  EXPECT_FALSE(sm.legal(ReplEvent::CMAccess));
+  EXPECT_THROW(sm.apply(ReplEvent::CMAccess), ProtocolViolation);
+}
+
+TEST(DataState, NoEvictionFromDoubleReplication) {
+  // §3.4.2: "There is no direct transition from the LM-CM state to the MM
+  // state" — eviction needs a single-replica state first.
+  DataStateMachine sm;
+  sm.apply(ReplEvent::CMAccess);
+  sm.apply(ReplEvent::LMMap);
+  EXPECT_EQ(sm.state(), ReplState::LMCM);
+  // The only exits lead to LM or CM, never MM:
+  for (ReplEvent e : {ReplEvent::LMWriteback, ReplEvent::CMEvict, ReplEvent::LMUnmap}) {
+    DataStateMachine copy = sm;
+    if (copy.legal(e)) {
+      copy.apply(e);
+      EXPECT_NE(copy.state(), ReplState::MM) << to_string(e);
+    }
+  }
+}
+
+TEST(DataState, ViolationMessageNamesStateAndEvent) {
+  DataStateMachine sm;
+  sm.apply(ReplEvent::LMMap);
+  try {
+    sm.apply(ReplEvent::CMAccess);
+    FAIL() << "expected ProtocolViolation";
+  } catch (const ProtocolViolation& v) {
+    EXPECT_EQ(v.state, ReplState::LM);
+    EXPECT_EQ(v.event, ReplEvent::CMAccess);
+    EXPECT_NE(std::string(v.what()).find("LM"), std::string::npos);
+  }
+}
+
+// Exhaustive legality check against the Fig. 6 transition table.
+struct TransitionCase {
+  ReplState from;
+  ReplEvent event;
+  bool legal;
+  ReplState to;  // meaningful when legal
+};
+
+class TransitionTable : public ::testing::TestWithParam<TransitionCase> {
+ protected:
+  static DataStateMachine reach(ReplState s) {
+    DataStateMachine sm;
+    switch (s) {
+      case ReplState::MM: break;
+      case ReplState::LM: sm.apply(ReplEvent::LMMap); break;
+      case ReplState::CM: sm.apply(ReplEvent::CMAccess); break;
+      case ReplState::LMCM:
+        sm.apply(ReplEvent::CMAccess);
+        sm.apply(ReplEvent::LMMap);
+        break;
+    }
+    return sm;
+  }
+};
+
+TEST_P(TransitionTable, MatchesFig6) {
+  const TransitionCase& tc = GetParam();
+  DataStateMachine sm = reach(tc.from);
+  EXPECT_EQ(sm.legal(tc.event), tc.legal)
+      << to_string(tc.from) << " --" << to_string(tc.event) << "--> ?";
+  if (tc.legal) {
+    sm.apply(tc.event);
+    EXPECT_EQ(sm.state(), tc.to);
+    EXPECT_TRUE(sm.lm_copy_valid_or_identical());  // invariant I1 everywhere
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6, TransitionTable,
+    ::testing::Values(
+        TransitionCase{ReplState::MM, ReplEvent::LMMap, true, ReplState::LM},
+        TransitionCase{ReplState::MM, ReplEvent::CMAccess, true, ReplState::CM},
+        TransitionCase{ReplState::MM, ReplEvent::LMUnmap, false, ReplState::MM},
+        TransitionCase{ReplState::MM, ReplEvent::LMWriteback, false, ReplState::MM},
+        TransitionCase{ReplState::MM, ReplEvent::CMEvict, false, ReplState::MM},
+        TransitionCase{ReplState::LM, ReplEvent::LMUnmap, true, ReplState::MM},
+        TransitionCase{ReplState::LM, ReplEvent::LMWriteback, true, ReplState::LM},
+        TransitionCase{ReplState::LM, ReplEvent::GuardedStore, true, ReplState::LM},
+        TransitionCase{ReplState::LM, ReplEvent::DoubleStore, true, ReplState::LMCM},
+        TransitionCase{ReplState::LM, ReplEvent::CMAccess, false, ReplState::LM},
+        TransitionCase{ReplState::LM, ReplEvent::CMEvict, false, ReplState::LM},
+        TransitionCase{ReplState::CM, ReplEvent::CMEvict, true, ReplState::MM},
+        TransitionCase{ReplState::CM, ReplEvent::CMAccess, true, ReplState::CM},
+        TransitionCase{ReplState::CM, ReplEvent::LMMap, true, ReplState::LMCM},
+        TransitionCase{ReplState::CM, ReplEvent::LMWriteback, false, ReplState::CM},
+        TransitionCase{ReplState::CM, ReplEvent::LMUnmap, false, ReplState::CM},
+        TransitionCase{ReplState::LMCM, ReplEvent::LMWriteback, true, ReplState::LM},
+        TransitionCase{ReplState::LMCM, ReplEvent::CMEvict, true, ReplState::LM},
+        TransitionCase{ReplState::LMCM, ReplEvent::LMUnmap, true, ReplState::CM},
+        TransitionCase{ReplState::LMCM, ReplEvent::GuardedStore, true, ReplState::LMCM},
+        TransitionCase{ReplState::LMCM, ReplEvent::DoubleStore, true, ReplState::LMCM},
+        TransitionCase{ReplState::LMCM, ReplEvent::LMMap, false, ReplState::LMCM},
+        TransitionCase{ReplState::LMCM, ReplEvent::CMAccess, false, ReplState::LMCM}));
+
+}  // namespace
+}  // namespace hm

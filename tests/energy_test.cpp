@@ -1,0 +1,120 @@
+// Unit tests for the Wattch-style energy model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/energy.hpp"
+
+namespace hm {
+namespace {
+
+TEST(Energy, ZeroActivityOnlyLeaksWithCycles) {
+  EnergyModel m;
+  ActivityCounts a;
+  EXPECT_DOUBLE_EQ(m.compute(a).total(), 0.0);
+  a.cycles = 1000;
+  EXPECT_GT(m.compute(a).total(), 0.0);
+}
+
+TEST(Energy, ComponentAttribution) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.int_ops = 100;
+  const auto cpu_only = m.compute(a);
+  EXPECT_GT(cpu_only.cpu, 0.0);
+  EXPECT_DOUBLE_EQ(cpu_only.caches, 0.0);
+  EXPECT_DOUBLE_EQ(cpu_only.lm, 0.0);
+  EXPECT_DOUBLE_EQ(cpu_only.others, 0.0);
+
+  ActivityCounts b;
+  b.l1_activity = 100;
+  const auto cache_only = m.compute(b);
+  EXPECT_GT(cache_only.caches, 0.0);
+  EXPECT_DOUBLE_EQ(cache_only.cpu, 0.0);
+}
+
+TEST(Energy, LmChargedOnlyWhenPresent) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.lm_accesses = 1000;
+  a.has_lm = false;
+  EXPECT_DOUBLE_EQ(m.compute(a).lm, 0.0);
+  a.has_lm = true;
+  EXPECT_GT(m.compute(a).lm, 0.0);
+}
+
+TEST(Energy, DirectoryChargedOnlyOnProtocolMachine) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.dir_lookups = 1000;
+  a.dir_updates = 10;
+  a.has_directory = false;  // oracle baseline: no directory hardware
+  EXPECT_DOUBLE_EQ(m.compute(a).others, 0.0);
+  a.has_directory = true;
+  EXPECT_GT(m.compute(a).others, 0.0);
+}
+
+TEST(Energy, MemoryRatiosSane) {
+  // LM access < L1 < L2 < L3 < DRAM — the CACTI-like ordering everything
+  // else rests on.
+  EnergyModel m;
+  const auto& p = m.params();
+  EXPECT_LT(p.lm_access, p.l1_access_32k);
+  EXPECT_LT(p.l1_access_32k, p.l2_access);
+  EXPECT_LT(p.l2_access, p.l3_access);
+  EXPECT_LT(p.l3_access, p.mem_access);
+  EXPECT_LT(p.dir_lookup, p.lm_access);  // 32-entry CAM is tiny
+}
+
+TEST(Energy, L1EnergyScalesWithSize) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.l1_access_energy(32 * 1024), m.params().l1_access_32k);
+  EXPECT_GT(m.l1_access_energy(64 * 1024), m.params().l1_access_32k);
+  EXPECT_NEAR(m.l1_access_energy(64 * 1024) / m.params().l1_access_32k, std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(m.l1_leak(64 * 1024), 2.0 * m.params().leak_l1_32k);
+}
+
+TEST(Energy, SixtyFourKL1CostsMoreThanThirtyTwoKPlusNothing) {
+  // The fairness configuration: a 64 KB L1 must cost more per access than a
+  // 32 KB L1 (and the LM costs less than either).
+  EnergyModel m;
+  EXPECT_GT(m.l1_access_energy(64 * 1024), m.l1_access_energy(32 * 1024));
+  EXPECT_LT(m.params().lm_access, m.l1_access_energy(32 * 1024));
+}
+
+TEST(Energy, LinearInActivity) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.l2_activity = 10;
+  const double e10 = m.compute(a).caches;
+  a.l2_activity = 20;
+  EXPECT_DOUBLE_EQ(m.compute(a).caches, 2.0 * e10);
+}
+
+TEST(Energy, TotalIsSumOfComponents) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.cycles = 123;
+  a.int_ops = 5;
+  a.l1_activity = 7;
+  a.lm_accesses = 11;
+  a.has_lm = true;
+  a.dma_lines = 3;
+  const auto e = m.compute(a);
+  EXPECT_DOUBLE_EQ(e.total(), e.cpu + e.caches + e.lm + e.others);
+}
+
+TEST(Energy, ReplaysAndFlushesChargeCpu) {
+  EnergyModel m;
+  ActivityCounts a;
+  a.replay_uops = 100;
+  const double with_replays = m.compute(a).cpu;
+  a.replay_uops = 0;
+  a.flushed_slots = 100;
+  const double with_flushes = m.compute(a).cpu;
+  EXPECT_GT(with_replays, 0.0);
+  EXPECT_GT(with_flushes, 0.0);
+}
+
+}  // namespace
+}  // namespace hm

@@ -1,0 +1,72 @@
+// Tests for the machine configurations (Table 1) and the Table 1 dump.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace hm {
+namespace {
+
+TEST(Machine, HybridCoherentMatchesTable1) {
+  const MachineConfig m = MachineConfig::hybrid_coherent();
+  EXPECT_EQ(m.core.fetch_width, 4u);             // 4 instructions wide
+  EXPECT_EQ(m.core.int_alus, 3u);                // 3 INT ALUs
+  EXPECT_EQ(m.core.fp_alus, 3u);                 // 3 FP ALUs
+  EXPECT_EQ(m.core.lsu_ports, 2u);               // 2 load/store units
+  EXPECT_EQ(m.core.bpred.selector_entries, 4096u);
+  EXPECT_EQ(m.core.bpred.gshare_entries, 4096u);
+  EXPECT_EQ(m.core.bpred.bimodal_entries, 4096u);
+  EXPECT_EQ(m.core.bpred.btb_ways, 4u);
+  EXPECT_EQ(m.core.bpred.ras_entries, 32u);
+  EXPECT_EQ(m.hierarchy.l1d.size, 32u * 1024u);  // L1 32 KB 8-way WT 2cyc
+  EXPECT_EQ(m.hierarchy.l1d.associativity, 8u);
+  EXPECT_EQ(m.hierarchy.l1d.write_policy, WritePolicy::WriteThrough);
+  EXPECT_EQ(m.hierarchy.l1d.latency, 2u);
+  EXPECT_EQ(m.hierarchy.l2.size, 256u * 1024u);  // L2 256 KB 24-way WB 15cyc
+  EXPECT_EQ(m.hierarchy.l2.associativity, 24u);
+  EXPECT_EQ(m.hierarchy.l2.write_policy, WritePolicy::WriteBack);
+  EXPECT_EQ(m.hierarchy.l2.latency, 15u);
+  EXPECT_EQ(m.hierarchy.l3.size, 4u * 1024u * 1024u);  // L3 4 MB 32-way WB 40cyc
+  EXPECT_EQ(m.hierarchy.l3.associativity, 32u);
+  EXPECT_EQ(m.hierarchy.l3.latency, 40u);
+  EXPECT_EQ(m.lm.size, 32u * 1024u);             // LM 32 KB 2cyc
+  EXPECT_EQ(m.lm.latency, 2u);
+  EXPECT_EQ(m.directory.entries, 32u);           // 32-entry directory
+  EXPECT_TRUE(m.has_lm());
+  EXPECT_TRUE(m.has_directory_hardware());
+}
+
+TEST(Machine, CacheBasedHasDoubledL1AndNoLm) {
+  const MachineConfig m = MachineConfig::cache_based();
+  EXPECT_EQ(m.hierarchy.l1d.size, 64u * 1024u);  // §4.3 fairness
+  EXPECT_FALSE(m.has_lm());
+  EXPECT_FALSE(m.has_directory_hardware());
+  EXPECT_FALSE(m.core.oracle_divert);
+}
+
+TEST(Machine, OracleKeepsLmDropsDirectoryCost) {
+  const MachineConfig m = MachineConfig::hybrid_oracle();
+  EXPECT_TRUE(m.has_lm());
+  EXPECT_FALSE(m.has_directory_hardware());
+  EXPECT_TRUE(m.core.oracle_divert);
+  EXPECT_EQ(m.hierarchy.l1d.size, 32u * 1024u);
+}
+
+TEST(Machine, DescribeMentionsKeyStructures) {
+  const std::string desc = MachineConfig::hybrid_coherent().describe();
+  EXPECT_NE(desc.find("out-of-order, 4 instructions wide"), std::string::npos);
+  EXPECT_NE(desc.find("L1D: 32 KB, 8-way"), std::string::npos);
+  EXPECT_NE(desc.find("L2: 256 KB, 24-way"), std::string::npos);
+  EXPECT_NE(desc.find("L3: 4096 KB, 32-way"), std::string::npos);
+  EXPECT_NE(desc.find("Local memory: 32 KB"), std::string::npos);
+  EXPECT_NE(desc.find("directory: 32 entries"), std::string::npos);
+}
+
+TEST(Machine, CacheBasedDescribeOmitsLm) {
+  const std::string desc = MachineConfig::cache_based().describe();
+  EXPECT_EQ(desc.find("Local memory"), std::string::npos);
+  EXPECT_EQ(desc.find("directory"), std::string::npos);
+  EXPECT_NE(desc.find("L1D: 64 KB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hm

@@ -1,0 +1,123 @@
+// Tests for the Table 2 microbenchmark and the Fig. 7 overhead behaviour.
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "workloads/microbench.hpp"
+
+namespace hm {
+namespace {
+
+std::size_t count_kind(Microbenchmark& mb, OpKind k) {
+  std::size_t n = 0;
+  MicroOp op;
+  while (mb.next(op)) n += op.kind == k ? 1 : 0;
+  return n;
+}
+
+TEST(Microbench, BaselineHasNoGuards) {
+  Microbenchmark mb({.mode = MicroMode::Baseline, .guarded_pct = 100, .iterations = 1000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedLoad), 0u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedStore), 0u);
+}
+
+TEST(Microbench, RdGuardsLoadsOnly) {
+  Microbenchmark mb({.mode = MicroMode::RD, .guarded_pct = 100, .iterations = 1000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedLoad), 1000u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedStore), 0u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::Store), 1000u);  // plain stores untouched
+}
+
+TEST(Microbench, WrEmitsDoubleStore) {
+  Microbenchmark mb({.mode = MicroMode::WR, .guarded_pct = 100, .iterations = 1000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedStore), 1000u);
+  mb.reset();
+  // The extra conventional store of the double store.
+  EXPECT_EQ(count_kind(mb, OpKind::Store), 1000u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::Load), 1000u);  // loads unguarded
+}
+
+TEST(Microbench, RdWrCombinesBoth) {
+  Microbenchmark mb({.mode = MicroMode::RDWR, .guarded_pct = 100, .iterations = 1000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedLoad), 1000u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedStore), 1000u);
+}
+
+TEST(Microbench, GuardedFractionRespected) {
+  Microbenchmark mb({.mode = MicroMode::RD, .guarded_pct = 30, .iterations = 10'000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedLoad), 3000u);
+}
+
+TEST(Microbench, ZeroPercentEqualsBaselineShape) {
+  Microbenchmark mb({.mode = MicroMode::RDWR, .guarded_pct = 0, .iterations = 1000});
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedLoad), 0u);
+  mb.reset();
+  EXPECT_EQ(count_kind(mb, OpKind::GuardedStore), 0u);
+}
+
+TEST(Microbench, TotalUopsAccounting) {
+  MicrobenchConfig cfg{.mode = MicroMode::WR, .guarded_pct = 50, .iterations = 1000};
+  Microbenchmark mb(cfg);
+  std::uint64_t n = 0;
+  MicroOp op;
+  while (mb.next(op)) ++n;
+  EXPECT_EQ(n, mb.total_uops());
+}
+
+TEST(Microbench, ModeNames) {
+  EXPECT_STREQ(to_string(MicroMode::Baseline), "Baseline");
+  EXPECT_STREQ(to_string(MicroMode::RD), "RD");
+  EXPECT_STREQ(to_string(MicroMode::WR), "WR");
+  EXPECT_STREQ(to_string(MicroMode::RDWR), "RD/WR");
+}
+
+// ---- Fig. 7 behaviour on the simulated machine ---------------------------
+
+double overhead(MicroMode mode, unsigned pct, std::uint64_t iters = 30'000) {
+  System sys(MachineConfig::hybrid_coherent());
+  Microbenchmark base({.mode = MicroMode::Baseline, .guarded_pct = 0, .iterations = iters});
+  const Cycle t_base = sys.run(base).cycles();
+  Microbenchmark m({.mode = mode, .guarded_pct = pct, .iterations = iters});
+  const Cycle t_mode = sys.run(m).cycles();
+  return static_cast<double>(t_mode) / static_cast<double>(t_base);
+}
+
+TEST(Fig7Behaviour, GuardedLoadsAreFree) {
+  // "The RD mode line shows no overhead at all" (§4.2).
+  EXPECT_NEAR(overhead(MicroMode::RD, 100), 1.0, 0.01);
+}
+
+TEST(Fig7Behaviour, DoubleStoreOverheadGrowsWithFraction) {
+  const double at25 = overhead(MicroMode::WR, 25);
+  const double at50 = overhead(MicroMode::WR, 50);
+  const double at100 = overhead(MicroMode::WR, 100);
+  EXPECT_LT(at25, at50);
+  EXPECT_LT(at50, at100);
+}
+
+TEST(Fig7Behaviour, FullDoubleStoreOverheadNearPaper) {
+  // The paper reports 28% at 100% guarded writes (from +26% instructions);
+  // our 4-wide model gives the same order (one extra uop on a 5-uop loop).
+  const double at100 = overhead(MicroMode::WR, 100);
+  EXPECT_GT(at100, 1.10);
+  EXPECT_LT(at100, 1.40);
+}
+
+TEST(Fig7Behaviour, ModerateFractionUnderTenPercent) {
+  // "The overhead decreases to less than 10% when 35% or less of the write
+  // accesses are guarded" (§4.2).
+  EXPECT_LT(overhead(MicroMode::WR, 35), 1.10);
+}
+
+TEST(Fig7Behaviour, RdWrTracksWr) {
+  const double wr = overhead(MicroMode::WR, 100);
+  const double rdwr = overhead(MicroMode::RDWR, 100);
+  EXPECT_NEAR(rdwr, wr, 0.05);  // guarded loads add nothing on top
+}
+
+}  // namespace
+}  // namespace hm
