@@ -1,0 +1,147 @@
+// Engine throughput benchmark: how many simulated memory accesses (and
+// simulated cycles) per wall-clock second the cycle-level engine sustains.
+//
+// This is the binding constraint on the paper-series sweeps (Figs. 7-10,
+// Tables 1/3 run many machine configurations x NAS kernels through the
+// engine), so its trajectory is tracked from this PR onward via
+// BENCH_engine.json.  Two views:
+//
+//  * BM_HierarchyAccess — the per-access hot path in isolation: a
+//    deterministic mixed trace (strided streams + irregular accesses +
+//    stores) driven straight into MemoryHierarchy::access.  Reports
+//    simulated accesses/second.
+//  * BM_SystemRun — a whole System::run of a NAS-like kernel per machine
+//    kind.  Reports simulated cycles/second.
+#include "bench_common.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "memory/hierarchy.hpp"
+
+namespace {
+
+using namespace hmbench;
+
+// ------------------------------------------------------------------------
+// A deterministic mixed access trace, regenerated identically per run,
+// shaped after the paper's NAS kernel signatures (Table 3, §4.2/§4.3): many
+// concurrent strided streams (FT and MG run ~30, overflowing the L1
+// prefetcher's 16-entry history table — the §4.3 collision effect), one
+// irregular reference with a hot working set (CG's critical-path read), and
+// ~30% stores on the streams (write-through pressure on L2).
+struct TraceOp {
+  Addr addr;
+  Addr pc;
+  AccessType type;
+};
+
+/// Generates the next op of the trace.  Stateful and continuous: streams
+/// advance forever (never rewinding into warm caches), exactly like the
+/// paper sweeps' kernels, so the engine is measured in streaming steady
+/// state rather than replaying a fixed window the caches have memorized.
+class TraceGen {
+ public:
+  TraceGen() {
+    for (unsigned s = 0; s < kStreams; ++s) stream_pos_[s] = 0x10'0000ull * (s + 1);
+  }
+
+  TraceOp next() {
+    TraceOp op;
+    if (rng_.chance(0.1)) {
+      // Irregular reference over a hot 256 KB working set.
+      op.addr = 0x4000'0000ull + rng_.below(256 * 1024);
+      op.pc = 0x480;
+      op.type = AccessType::Read;
+    } else {
+      const unsigned which = static_cast<unsigned>(rng_.below(kStreams));
+      op.addr = stream_pos_[which];
+      stream_pos_[which] += 8;  // strided walk, 8 B elements
+      op.pc = 0x400 + which * 4;
+      op.type = rng_.chance(0.3) ? AccessType::Write : AccessType::Read;
+    }
+    return op;
+  }
+
+ private:
+  static constexpr unsigned kStreams = 30;
+  Rng rng_{0xB5EEDu};
+  Addr stream_pos_[kStreams];
+};
+
+HierarchyConfig hierarchy_for(MachineKind kind) {
+  MachineConfig cfg = kind == MachineKind::HybridCoherent ? MachineConfig::hybrid_coherent()
+                      : kind == MachineKind::HybridOracle ? MachineConfig::hybrid_oracle()
+                                                          : MachineConfig::cache_based();
+  return cfg.hierarchy;
+}
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  constexpr std::size_t kOpsPerIteration = 1 << 16;
+  const auto kind = static_cast<MachineKind>(state.range(0));
+  TraceGen gen;
+  MemoryHierarchy hier(hierarchy_for(kind));
+  Cycle now = 0;
+  std::uint64_t accesses = 0;
+  Cycle checksum = 0;  // keeps the access results live without a per-op fence
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kOpsPerIteration; ++i) {
+      const TraceOp op = gen.next();
+      const AccessResult r = hier.access(now, op.addr, op.type, op.pc);
+      now = r.complete > now ? r.complete : now + 1;
+      checksum += r.latency;
+    }
+    accesses += kOpsPerIteration;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+  state.counters["sim_accesses_per_sec"] =
+      benchmark::Counter(static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HierarchyAccess)
+    ->Arg(static_cast<int>(MachineKind::HybridCoherent))
+    ->Arg(static_cast<int>(MachineKind::HybridOracle))
+    ->Arg(static_cast<int>(MachineKind::CacheBased))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SystemRun(benchmark::State& state) {
+  const auto kind = static_cast<MachineKind>(state.range(0));
+  const Workload wl = make_cg({.factor = 0.2});
+  std::uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    const RunReport rep = run_on(kind, wl.loop);
+    sim_cycles += rep.cycles();
+    benchmark::DoNotOptimize(rep.amat);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemRun)
+    ->Arg(static_cast<int>(MachineKind::HybridCoherent))
+    ->Arg(static_cast<int>(MachineKind::HybridOracle))
+    ->Arg(static_cast<int>(MachineKind::CacheBased))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("Engine throughput (simulated accesses/sec, cycles/sec)");
+  // Default to emitting BENCH_engine.json next to the working directory so
+  // the perf trajectory is tracked run over run; an explicit --benchmark_out
+  // on the command line wins.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_engine.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

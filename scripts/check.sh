@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Fast correctness + perf-harness gate: configure, build, run the unit tests,
+# then smoke the engine throughput benchmark for one short iteration so
+# regressions in either the model or the perf harness fail loudly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [ -x build/bench_engine ]; then
+  # Plain-double seconds: the "0.01x" iteration-suffix form needs
+  # google-benchmark >= 1.8, and the smoke must run on 1.7 too.
+  (cd build && ./bench_engine --benchmark_min_time=0.05)
+else
+  echo "bench_engine not built (HM_BUILD_BENCH=OFF?) — skipping perf smoke"
+fi
+
+echo "check.sh: all green"
