@@ -9,8 +9,10 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
+#include "common/bitops.hpp"
 #include "common/types.hpp"
 
 namespace hm {
@@ -18,14 +20,20 @@ namespace hm {
 class BandwidthPool {
  public:
   /// @p gap: minimum cycles between request starts (0 = infinite bandwidth).
+  /// @p window is rounded up to a power of two so the ring index is a mask,
+  /// not a modulo, on the per-access fast path.
   explicit BandwidthPool(Cycle gap, std::size_t window = 16384)
-      : gap_(gap), ring_(window, kNoCycle) {}
+      : gap_(gap),
+        ring_(std::bit_ceil(window > 0 ? window : 1), kNoCycle),
+        ring_mask_(ring_.size() - 1) {
+    if (gap_ >= 2) gap_magic_ = MagicDivisor(gap_);
+  }
 
   /// Book the first free slot at or after @p when; returns the start cycle.
   Cycle book(Cycle when) {
     if (gap_ == 0) return when;
-    for (Cycle bucket = when / gap_;; ++bucket) {
-      Cycle& slot = ring_[static_cast<std::size_t>(bucket % ring_.size())];
+    for (Cycle bucket = gap_ == 1 ? when : gap_magic_.div(when);; ++bucket) {
+      Cycle& slot = ring_[static_cast<std::size_t>(bucket) & ring_mask_];
       if (slot != bucket) {  // free or stale (older epoch): claim it
         slot = bucket;
         return std::max(when, bucket * gap_);
@@ -39,7 +47,9 @@ class BandwidthPool {
 
  private:
   Cycle gap_;
+  MagicDivisor gap_magic_;  ///< div by gap, valid when gap_ >= 2
   std::vector<Cycle> ring_;
+  std::size_t ring_mask_;
 };
 
 }  // namespace hm

@@ -1,0 +1,92 @@
+// Vectorized first-match search over small arrays of 64-bit keys.
+//
+// The engine's innermost operations are all variations of "find the slot
+// whose 64-bit key equals X" over a handful of contiguous entries: cache tag
+// scans (8/24/32 ways), MSHR line matches, invalid-way searches.  At -O2 gcc
+// compiles the natural early-exit loop to scalar compares with one
+// data-dependent mispredict per lookup; the AVX2 form compares 4 keys per
+// instruction and turns the result into a branch-free bit mask.  Every
+// helper falls back to a portable scalar loop when AVX2 is unavailable —
+// results are identical (bit position of the FIRST match).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace hm {
+
+/// Bit i of the result is set iff keys[i] == key, for i in [0, n).  @p n
+/// must be <= 64.
+inline std::uint64_t match_mask_u64(const std::uint64_t* keys, std::uint32_t n,
+                                    std::uint64_t key) {
+  std::uint64_t mask = 0;
+  std::uint32_t i = 0;
+#if defined(__AVX512F__)
+  const __m512i k8 = _mm512_set1_epi64(static_cast<long long>(key));
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(keys + i);
+    mask |= static_cast<std::uint64_t>(_mm512_cmpeq_epi64_mask(v, k8)) << i;
+  }
+#endif
+#if defined(__AVX2__)
+  const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i eq = _mm256_cmpeq_epi64(v, k);
+    mask |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq))))
+            << i;
+  }
+#endif
+  for (; i < n; ++i) mask |= static_cast<std::uint64_t>(keys[i] == key) << i;
+  return mask;
+}
+
+/// Bit i of the result is set iff keys[i] > bound as SIGNED 64-bit values,
+/// for i in [0, n) (n <= 64).  Simulated cycle counts never reach 2^63, so
+/// this equals the unsigned comparison on the engine's data.
+inline std::uint64_t gt_mask_s64(const std::uint64_t* keys, std::uint32_t n,
+                                 std::uint64_t bound) {
+  std::uint64_t mask = 0;
+  std::uint32_t i = 0;
+#if defined(__AVX512F__)
+  const __m512i b8 = _mm512_set1_epi64(static_cast<long long>(bound));
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(keys + i);
+    mask |= static_cast<std::uint64_t>(_mm512_cmpgt_epi64_mask(v, b8)) << i;
+  }
+#endif
+#if defined(__AVX2__)
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bound));
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i gt = _mm256_cmpgt_epi64(v, b);
+    mask |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(gt))))
+            << i;
+  }
+#endif
+  for (; i < n; ++i)
+    mask |= static_cast<std::uint64_t>(static_cast<std::int64_t>(keys[i]) >
+                                       static_cast<std::int64_t>(bound))
+            << i;
+  return mask;
+}
+
+/// Index of the first element equal to @p key, or @p n if absent.  Handles
+/// any @p n (scans in 64-element chunks).
+inline std::uint32_t find_first_eq_u64(const std::uint64_t* keys, std::uint32_t n,
+                                       std::uint64_t key) {
+  for (std::uint32_t base = 0; base < n; base += 64) {
+    const std::uint32_t chunk = (n - base) < 64 ? (n - base) : 64;
+    const std::uint64_t mask = match_mask_u64(keys + base, chunk, key);
+    if (mask != 0) return base + static_cast<std::uint32_t>(std::countr_zero(mask));
+  }
+  return n;
+}
+
+}  // namespace hm

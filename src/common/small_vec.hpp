@@ -1,0 +1,97 @@
+// Fixed-capacity inline vector for the simulated fast path.
+//
+// The engine's per-access code (prefetcher candidate lists, victim handling)
+// must not heap-allocate: MemoryHierarchy::access runs hundreds of millions
+// of times per sweep and every malloc/free pair dominates the tag scans it
+// brackets.  SmallVec stores up to N elements inline, never allocates, and
+// degrades gracefully on overflow (push_back reports failure instead of
+// growing), which is the right behaviour for hardware-bounded lists: a
+// prefetcher with degree d never produces more than d candidates, an MSHR
+// never merges more requests than it has entries.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+namespace hm {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "SmallVec needs a non-zero capacity");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for POD-ish fast-path payloads");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  // Elements beyond size_ are intentionally uninitialized: zeroing the
+  // inline array would cost a 64-byte memset per construction, and the
+  // prefetchers construct one per train() call on the simulated fast path.
+  SmallVec() {}
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) {
+      if (!push_back(v)) break;
+    }
+  }
+
+  /// Append @p v; returns false (leaving the vector unchanged) when full.
+  constexpr bool push_back(const T& v) {
+    if (size_ == N) return false;
+    data_[size_++] = v;
+    return true;
+  }
+
+  constexpr void clear() noexcept { size_ = 0; }
+  constexpr void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  constexpr std::size_t size() const noexcept { return size_; }
+  static constexpr std::size_t capacity() noexcept { return N; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr bool full() const noexcept { return size_ == N; }
+
+  constexpr T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& back() noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+  constexpr const T& back() const noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  constexpr T* data() noexcept { return data_; }
+  constexpr const T* data() const noexcept { return data_; }
+
+  constexpr iterator begin() noexcept { return data_; }
+  constexpr iterator end() noexcept { return data_ + size_; }
+  constexpr const_iterator begin() const noexcept { return data_; }
+  constexpr const_iterator end() const noexcept { return data_ + size_; }
+
+  friend constexpr bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (!(a.data_[i] == b.data_[i])) return false;
+    return true;
+  }
+
+ private:
+  T data_[N];
+  std::size_t size_ = 0;
+};
+
+}  // namespace hm

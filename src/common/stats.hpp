@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
@@ -24,6 +25,9 @@ class Counter {
   void reset() noexcept { value_ = 0; }
   std::uint64_t value() const noexcept { return value_; }
 
+  /// Address of the underlying cell (StatGroup registry internals).
+  std::uint64_t* cell() noexcept { return &value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -38,9 +42,29 @@ class StatGroup {
  public:
   explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
+  // Owners keep raw cell pointers into the arena, and bind() registers
+  // cells living inside the owning object — copying or moving either the
+  // group or a binding owner would leave dangling cell pointers.  Immovable
+  // by construction; owners hold their StatGroup in place (optionals use
+  // std::in_place, see sim/system.cpp).
+  StatGroup(const StatGroup&) = delete;
+  StatGroup& operator=(const StatGroup&) = delete;
+  StatGroup(StatGroup&&) = delete;
+  StatGroup& operator=(StatGroup&&) = delete;
+
   /// Register (or fetch) a counter under @p counter_name.  The returned
-  /// reference stays valid for the lifetime of the group.
+  /// reference stays valid for the lifetime of the group.  Throws if the
+  /// name was bind()-registered — a bound cell has no Counter object.
   Counter& counter(std::string_view counter_name);
+
+  /// Register @p cell — a plain std::uint64_t owned by the caller — as the
+  /// counter @p counter_name.  Hot structures keep their per-event counters
+  /// as inline struct fields (bumped without any pointer chase) and bind
+  /// them here so reporting/reset sees them like any other counter.  The
+  /// cell must outlive the group registration (same object, in practice).
+  /// Throws if the name is already registered either way — rebinding would
+  /// silently orphan references previously handed out by counter().
+  void bind(std::string_view counter_name, std::uint64_t* cell);
 
   /// Value of a counter, 0 if it was never registered.
   std::uint64_t value(std::string_view counter_name) const;
@@ -54,9 +78,15 @@ class StatGroup {
 
  private:
   std::string name_;
-  // std::map keeps references stable under insertion, which the Counter&
-  // contract above requires.
-  std::map<std::string, Counter, std::less<>> counters_;
+  // counter()-created Counters live in a deque arena: references stay
+  // stable under insertion (the Counter& contract above) AND counters
+  // registered together sit in adjacent memory.  `cells_` is the reporting
+  // view over ALL counters — arena cells and bind()-registered external
+  // cells alike; `arena_index_` tracks which names own an arena Counter so
+  // counter() never has to conjure a Counter from a bare cell.
+  std::deque<Counter> arena_;
+  std::map<std::string, Counter*, std::less<>> arena_index_;
+  std::map<std::string, std::uint64_t*, std::less<>> cells_;
 };
 
 /// Accumulates min/max/mean of a stream of samples (e.g. per-access latency).

@@ -1,6 +1,8 @@
 #include "memory/cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace hm {
 
@@ -14,120 +16,82 @@ void CacheConfig::validate() const {
 SetAssocCache::SetAssocCache(CacheConfig cfg) : cfg_(std::move(cfg)), stats_(cfg_.name) {
   cfg_.validate();
   num_sets_ = cfg_.num_sets();
-  lines_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
-  lookups_ = &stats_.counter("lookups");
-  hits_ = &stats_.counter("hits");
-  misses_ = &stats_.counter("misses");
-  read_hits_ = &stats_.counter("read_hits");
-  write_hits_ = &stats_.counter("write_hits");
-  fills_ = &stats_.counter("fills");
-  prefetch_fills_ = &stats_.counter("prefetch_fills");
-  evictions_ = &stats_.counter("evictions");
-  dirty_evictions_ = &stats_.counter("dirty_evictions");
-  invalidations_ = &stats_.counter("invalidations");
-  snoops_ = &stats_.counter("snoops");
-}
-
-unsigned SetAssocCache::set_index(Addr addr) const {
-  // XOR-folded set index: large power-of-two allocation alignments would
-  // otherwise map the k-th line of every array to the same set and thrash
-  // (physically indexed caches avoid this through page colouring; index
-  // hashing is the standard simulator equivalent).
-  const Addr line = addr / cfg_.line_size;
-  const Addr hashed = line ^ (line >> 11) ^ (line >> 23);
-  return static_cast<unsigned>(hashed % num_sets_);
-}
-
-SetAssocCache::Line* SetAssocCache::find_line(Addr addr) {
-  const Addr base = line_base(addr);
-  Line* set = &lines_[static_cast<std::size_t>(set_index(addr)) * cfg_.associativity];
-  for (unsigned w = 0; w < cfg_.associativity; ++w) {
-    if (set[w].tag == base) return &set[w];
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find_line(Addr addr) const {
-  return const_cast<SetAssocCache*>(this)->find_line(addr);
-}
-
-bool SetAssocCache::touch(Addr addr, AccessType type) {
-  lookups_->inc();
-  Line* line = find_line(addr);
-  if (line == nullptr) {
-    misses_->inc();
-    return false;
-  }
-  hits_->inc();
-  if (type == AccessType::Read) {
-    read_hits_->inc();
-  } else {
-    write_hits_->inc();
-    if (cfg_.write_policy == WritePolicy::WriteBack) line->dirty = true;
-  }
-  line->lru = ++lru_clock_;
-  return true;
+  assoc_ = cfg_.associativity;
+  line_shift_ = log2_exact(cfg_.line_size);
+  line_mask_ = cfg_.line_size - 1;
+  sets_pow2_ = is_pow2(num_sets_);
+  set_mask_ = sets_pow2_ ? num_sets_ - 1 : 0;
+  if (!sets_pow2_) set_magic_ = MagicDivisor(num_sets_);
+  const std::size_t slots = static_cast<std::size_t>(num_sets_) * assoc_;
+  tags_.assign(slots, kNoAddr);
+  meta_.assign(slots, 0);
+  stats_.bind("lookups", &hot_.lookups);
+  stats_.bind("hits", &hot_.hits);
+  stats_.bind("misses", &hot_.misses);
+  stats_.bind("read_hits", &hot_.read_hits);
+  stats_.bind("write_hits", &hot_.write_hits);
+  stats_.bind("fills", &hot_.fills);
+  stats_.bind("prefetch_fills", &hot_.prefetch_fills);
+  stats_.bind("evictions", &hot_.evictions);
+  stats_.bind("dirty_evictions", &hot_.dirty_evictions);
+  stats_.bind("invalidations", &hot_.invalidations);
+  stats_.bind("snoops", &hot_.snoops);
 }
 
 bool SetAssocCache::probe(Addr addr) const {
-  snoops_->inc();
-  return probe_silent(addr);
+  ++hot_.snoops;
+  return peek(addr).hit;
 }
 
-bool SetAssocCache::probe_silent(Addr addr) const { return find_line(addr) != nullptr; }
-
 std::optional<EvictedLine> SetAssocCache::fill(Addr addr, bool from_prefetch) {
-  if (find_line(addr) != nullptr) return std::nullopt;  // already resident
-  fills_->inc();
-  if (from_prefetch) prefetch_fills_->inc();
-
-  Line* set = &lines_[static_cast<std::size_t>(set_index(addr)) * cfg_.associativity];
-  Line* victim = &set[0];
-  for (unsigned w = 0; w < cfg_.associativity; ++w) {
-    if (set[w].tag == kNoAddr) {
-      victim = &set[w];
-      break;
-    }
-    if (set[w].lru < victim->lru) victim = &set[w];
-  }
-
-  std::optional<EvictedLine> evicted;
-  if (victim->tag != kNoAddr) {
-    evictions_->inc();
-    if (victim->dirty) dirty_evictions_->inc();
-    evicted = EvictedLine{victim->tag, victim->dirty};
-  }
-  victim->tag = line_base(addr);
-  victim->dirty = false;
-  victim->lru = ++lru_clock_;
-  return evicted;
+  const LookupResult r = peek(addr);
+  if (r.hit) return std::nullopt;  // already resident
+  return fill_at(r, addr, from_prefetch);
 }
 
 void SetAssocCache::set_dirty(Addr addr) {
   if (cfg_.write_policy != WritePolicy::WriteBack) return;
-  if (Line* line = find_line(addr)) line->dirty = true;
+  const LookupResult r = peek(addr);
+  if (r.hit) meta_[slot(r.set, r.way)] |= 1u;
 }
 
 std::optional<EvictedLine> SetAssocCache::invalidate(Addr addr) {
-  invalidations_->inc();
-  Line* line = find_line(addr);
-  if (line == nullptr) return std::nullopt;
-  EvictedLine out{line->tag, line->dirty};
-  line->tag = kNoAddr;
-  line->dirty = false;
-  line->lru = 0;
+  ++hot_.invalidations;
+  const LookupResult r = peek(addr);
+  if (!r.hit) return std::nullopt;
+  const std::size_t idx = slot(r.set, r.way);
+  EvictedLine out{tags_[idx], (meta_[idx] & 1u) != 0};
+  reset_slot(idx);  // full reset: tag, recency stamp and dirty bit together
   return out;
 }
 
+void SetAssocCache::renumber_stamps() {
+  // The 31-bit recency clock is exhausted (once per ~2 billion installs):
+  // renumber every valid stamp 1..K in ascending stamp order.  Victim
+  // selection only compares stamps within a set, so any order-preserving
+  // renumber leaves every future decision unchanged.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (stamp, slot)
+  order.reserve(tags_.size());
+  for (std::uint32_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != kNoAddr) order.emplace_back(meta_[i] >> 1, i);
+  }
+  std::sort(order.begin(), order.end());
+  std::uint32_t next = 0;
+  for (const auto& [stamp, idx] : order) {
+    meta_[idx] = (++next << 1) | (meta_[idx] & 1u);
+  }
+  lru_clock_ = next;
+}
+
 void SetAssocCache::flush_all() {
-  for (auto& line : lines_) line = Line{};
+  for (std::size_t i = 0; i < tags_.size(); ++i) reset_slot(i);
   lru_clock_ = 0;
 }
 
 std::size_t SetAssocCache::valid_lines() const {
   std::size_t n = 0;
-  for (const auto& line : lines_)
-    if (line.tag != kNoAddr) ++n;
+  for (const Addr tag : tags_)
+    if (tag != kNoAddr) ++n;
   return n;
 }
 

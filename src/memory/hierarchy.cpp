@@ -2,6 +2,20 @@
 
 namespace hm {
 
+// Fast-path invariants (enforced by tests/cache_test.cpp and
+// tests/alloc_test.cpp):
+//
+//  * Each cache level is scanned at most once per residency question: every
+//    peek()/access() returns the would-be victim alongside the hit way, and
+//    the matching fill_at()/set_dirty_at() reuses that slot instead of
+//    re-walking the set.  A LookupResult may only be replayed into fill_at
+//    while no intervening operation mutated that same cache — the code below
+//    is ordered so lower-level traffic (L3, memory) happens between an upper
+//    level's lookup and its fill, never another mutation of the same level.
+//  * The steady-state access path performs zero heap allocations: prefetcher
+//    candidate lists are SmallVec, MSHR/WCB/bandwidth structures are
+//    fixed-size, and all statistics counters are pre-registered.
+
 MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
     : cfg_(std::move(cfg)),
       l1d_(cfg_.l1d),
@@ -15,123 +29,150 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
       l2_pool_(cfg_.l2_gap),
       l3_pool_(cfg_.l3_gap),
       stats_("hierarchy") {
-  loads_ = &stats_.counter("loads");
-  stores_ = &stats_.counter("stores");
-  writethrough_traffic_ = &stats_.counter("writethrough_traffic");
-  bus_l1_l2_ = &stats_.counter("bus_l1_l2");
-  bus_l2_l3_ = &stats_.counter("bus_l2_l3");
-  bus_l3_mem_ = &stats_.counter("bus_l3_mem");
-  bus_dma_ = &stats_.counter("bus_dma");
-  l2_queue_cycles_ = &stats_.counter("l2_queue_cycles");
-  l3_queue_cycles_ = &stats_.counter("l3_queue_cycles");
+  stats_.bind("loads", &hot_.loads);
+  stats_.bind("stores", &hot_.stores);
+  stats_.bind("writethrough_traffic", &hot_.writethrough_traffic);
+  stats_.bind("bus_l1_l2", &hot_.bus_l1_l2);
+  stats_.bind("bus_l2_l3", &hot_.bus_l2_l3);
+  stats_.bind("bus_l3_mem", &hot_.bus_l3_mem);
+  stats_.bind("bus_dma", &hot_.bus_dma);
+  stats_.bind("l2_queue_cycles", &hot_.l2_queue_cycles);
+  stats_.bind("l3_queue_cycles", &hot_.l3_queue_cycles);
 }
 
-Cycle MemoryHierarchy::book_l2(Cycle when) {
+void MemoryHierarchy::commit(const Scratch& sc) {
+  // Unconditional adds: the fields sit on two cache lines and a zero add is
+  // cheaper than a mispredictable branch per counter.
+  hot_.loads += sc.loads;
+  hot_.stores += sc.stores;
+  hot_.writethrough_traffic += sc.wt_traffic;
+  hot_.bus_l1_l2 += sc.bus_l1_l2;
+  hot_.bus_l2_l3 += sc.bus_l2_l3;
+  hot_.bus_l3_mem += sc.bus_l3_mem;
+  hot_.l2_queue_cycles += sc.l2_queue;
+  hot_.l3_queue_cycles += sc.l3_queue;
+}
+
+Cycle MemoryHierarchy::book_l2(Cycle when, Scratch& sc) {
   const Cycle start = l2_pool_.book(when);
-  if (start > when) l2_queue_cycles_->inc(start - when);
+  if (start > when) sc.l2_queue += start - when;
   return start;
 }
 
-Cycle MemoryHierarchy::book_l3(Cycle when) {
+Cycle MemoryHierarchy::book_l3(Cycle when, Scratch& sc) {
   const Cycle start = l3_pool_.book(when);
-  if (start > when) l3_queue_cycles_->inc(start - when);
+  if (start > when) sc.l3_queue += start - when;
   return start;
 }
 
-void MemoryHierarchy::handle_l3_victim(Cycle now, const EvictedLine& v) {
+void MemoryHierarchy::handle_l3_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
   if (!v.dirty) return;
-  bus_l3_mem_->inc();
+  sc.bus_l3_mem++;
   mem_.access(now, AccessType::Write);
 }
 
-void MemoryHierarchy::handle_l2_victim(Cycle now, const EvictedLine& v) {
+void MemoryHierarchy::handle_l2_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
   if (!v.dirty) return;
-  bus_l2_l3_->inc();
-  if (l3_.touch(v.line_addr, AccessType::Write)) {
+  sc.bus_l2_l3++;
+  const auto l3r = l3_.access(v.line_addr, AccessType::Write);
+  if (l3r.hit) {
     return;  // merged into resident L3 line, now dirty
   }
-  if (auto l3v = l3_.fill(v.line_addr)) handle_l3_victim(now, *l3v);
-  l3_.set_dirty(v.line_addr);
+  if (auto l3v = l3_.fill_at(l3r, v.line_addr)) handle_l3_victim(now, *l3v, sc);
+  l3_.set_dirty_at(l3r);
 }
 
-void MemoryHierarchy::fetch_below_l2(Cycle now, Addr line) {
+void MemoryHierarchy::fetch_below_l2(Cycle now, Addr line,
+                                     const SetAssocCache::LookupResult& l2_miss, Scratch& sc) {
   // Bring a line into L2 from L3 or memory.  The fill is off the critical
   // path latency-wise but consumes L2 bandwidth (prefetch pollution cost).
-  book_l2(now);
-  bus_l2_l3_->inc();
-  if (!l3_.touch(line, AccessType::Read)) {
-    bus_l3_mem_->inc();
+  book_l2(now, sc);
+  sc.bus_l2_l3++;
+  const auto l3r = l3_.access(line, AccessType::Read);
+  if (!l3r.hit) {
+    sc.bus_l3_mem++;
     mem_.access(now, AccessType::Read);
-    if (auto v = l3_.fill(line)) handle_l3_victim(now, *v);
+    if (auto v = l3_.fill_at(l3r, line)) handle_l3_victim(now, *v, sc);
   }
-  if (auto v = l2_.fill(line, /*from_prefetch=*/true)) handle_l2_victim(now, *v);
+  if (auto v = l2_.fill_at(l2_miss, line, /*from_prefetch=*/true)) handle_l2_victim(now, *v, sc);
 }
 
-void MemoryHierarchy::run_prefetches_l1(Cycle now, Addr pc, Addr addr) {
-  for (Addr line : pf_l1_.train(pc, addr)) {
-    if (l1d_.contains(line)) continue;
+void MemoryHierarchy::run_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& sc) {
+  for (const Addr line : pf_l1_.train(pc, addr)) {
+    const auto p1 = l1d_.peek(line);
+    if (p1.hit) continue;
     // The prefetched line is fetched through the hierarchy like any other
     // fill: it consumes bus bandwidth and DRAM accesses, which is exactly
     // the pollution cost the paper's §4.3 analysis charges to prefetching.
-    bus_l1_l2_->inc();
-    if (!l2_.contains(line)) fetch_below_l2(now, line);
-    if (auto v = l1d_.fill(line, /*from_prefetch=*/true); v && v->dirty) {
+    sc.bus_l1_l2++;
+    const auto p2 = l2_.peek(line);
+    if (!p2.hit) fetch_below_l2(now, line, p2, sc);
+    if (auto v = l1d_.fill_at(p1, line, /*from_prefetch=*/true); v && v->dirty) {
       // L1 is write-through: victims are never dirty.  Kept for generality
       // when the cache-based machine is configured write-back.
-      handle_l2_victim(now, *v);
+      handle_l2_victim(now, *v, sc);
     }
   }
 }
 
-void MemoryHierarchy::run_prefetches_l2(Cycle now, Addr pc, Addr addr) {
-  for (Addr line : pf_l2_.train(pc, addr)) {
-    if (l2_.contains(line)) continue;
-    fetch_below_l2(now, line);
+void MemoryHierarchy::run_prefetches_l2(Cycle now, Addr pc, Addr addr, Scratch& sc) {
+  for (const Addr line : pf_l2_.train(pc, addr)) {
+    const auto p = l2_.peek(line);
+    if (p.hit) continue;
+    fetch_below_l2(now, line, p, sc);
   }
 }
 
-void MemoryHierarchy::run_prefetches_l3(Cycle now, Addr pc, Addr addr) {
-  for (Addr line : pf_l3_.train(pc, addr)) {
-    if (l3_.contains(line)) continue;
-    bus_l3_mem_->inc();
+void MemoryHierarchy::run_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& sc) {
+  for (const Addr line : pf_l3_.train(pc, addr)) {
+    const auto p = l3_.peek(line);
+    if (p.hit) continue;
+    sc.bus_l3_mem++;
     mem_.access(now, AccessType::Read);
-    if (auto v = l3_.fill(line, /*from_prefetch=*/true)) handle_l3_victim(now, *v);
+    if (auto v = l3_.fill_at(p, line, /*from_prefetch=*/true)) handle_l3_victim(now, *v, sc);
   }
 }
 
-Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served) {
+Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served,
+                                       Scratch& sc, SetAssocCache::LookupResult* l2_loc) {
   // L1 missed; look in L2 (booking an L2 port slot).
-  const Cycle l2_start = book_l2(now);
+  const Cycle l2_start = book_l2(now, sc);
   Cycle lat = (l2_start - now) + cfg_.l2.latency;
-  bus_l1_l2_->inc();
-  run_prefetches_l2(now, pc, addr);  // L2 prefetcher trains on L1 misses
-  if (l2_.touch(addr, AccessType::Read)) {
+  sc.bus_l1_l2++;
+  run_prefetches_l2(now, pc, addr, sc);  // L2 prefetcher trains on L1 misses
+  const auto l2r = l2_.access(addr, AccessType::Read);
+  if (l2r.hit) {
+    if (l2_loc) *l2_loc = l2r;
     served = ServedBy::CacheL2;
     return lat;
   }
 
-  // L2 missed; look in L3 (booking an L3 port slot).
-  const Cycle l3_start = book_l3(now + lat);
+  // L2 missed; look in L3 (booking an L3 port slot).  l2r's victim slot
+  // stays valid through the L3/memory traffic below: nothing touches L2
+  // until the fill_at on the way back up.
+  const Cycle l3_start = book_l3(now + lat, sc);
   lat = (l3_start - now) + cfg_.l3.latency;
-  bus_l2_l3_->inc();
-  run_prefetches_l3(now, pc, addr);
-  if (!l3_.touch(addr, AccessType::Read)) {
+  sc.bus_l2_l3++;
+  run_prefetches_l3(now, pc, addr, sc);
+  const auto l3r = l3_.access(addr, AccessType::Read);
+  if (!l3r.hit) {
     // L3 missed: fetch the line from main memory.
-    bus_l3_mem_->inc();
+    sc.bus_l3_mem++;
     const Cycle mem_done = mem_.access(now + lat, AccessType::Read);
     lat = (mem_done - now);
-    if (auto v = l3_.fill(addr)) handle_l3_victim(now, *v);
+    if (auto v = l3_.fill_at(l3r, addr)) handle_l3_victim(now, *v, sc);
     served = ServedBy::MainMemory;
   } else {
     served = ServedBy::CacheL3;
   }
 
   // Allocate the line in L2 on the way back up.
-  if (auto v = l2_.fill(addr)) handle_l2_victim(now, *v);
+  if (auto v = l2_.fill_at(l2r, addr)) handle_l2_victim(now, *v, sc);
+  if (l2_loc) *l2_loc = l2r;
   return lat;
 }
 
-Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc) {
+Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc) {
   const Addr line = l1d_.line_base(addr);
   WcbEntry* slot = &wcb_[0];
   for (WcbEntry& e : wcb_) {
@@ -143,15 +184,16 @@ Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc) {
   }
   // New combining entry: the write consumes an L2 slot (allocating the line
   // in L2 if absent, through the regular miss path).
-  writethrough_traffic_->inc();
-  bus_l1_l2_->inc();
+  sc.wt_traffic++;
+  sc.bus_l1_l2++;
   Cycle drain;
-  if (l2_.touch(addr, AccessType::Write)) {
-    drain = book_l2(now) + cfg_.l2.latency;
+  if (l2_.access(addr, AccessType::Write).hit) {
+    drain = book_l2(now, sc) + cfg_.l2.latency;
   } else {
     ServedBy served = ServedBy::CacheL2;
-    drain = now + fill_from_below(now, addr, pc, served);
-    l2_.set_dirty(addr);
+    SetAssocCache::LookupResult l2_loc;
+    drain = now + fill_from_below(now, addr, pc, served, sc, &l2_loc);
+    l2_.set_dirty_at(l2_loc);
   }
   slot->line = line;
   slot->drain = drain;
@@ -159,52 +201,57 @@ Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc) {
 }
 
 AccessResult MemoryHierarchy::access(Cycle now, Addr addr, AccessType type, Addr pc) {
-  (type == AccessType::Read ? loads_ : stores_)->inc();
-  run_prefetches_l1(now, pc, addr);
+  Scratch sc;
+  if (type == AccessType::Read) {
+    sc.loads++;
+  } else {
+    sc.stores++;
+  }
+  run_prefetches_l1(now, pc, addr, sc);
 
   AccessResult r;
   const Cycle l1_lat = cfg_.l1d.latency;
+  const auto l1r = l1d_.access(addr, type);
 
-  if (l1d_.touch(addr, type)) {
+  if (l1r.hit) {
     r.served_by = ServedBy::CacheL1;
     r.latency = l1_lat;
     r.complete = now + l1_lat;
     if (type == AccessType::Write && cfg_.l1d.write_policy == WritePolicy::WriteThrough) {
       // Write-through traffic goes through the write-combining buffer; the
       // store-buffer entry drains when the (possibly merged) write lands.
-      r.complete = wt_store(now, addr, pc);
+      r.complete = wt_store(now, addr, pc, sc);
     }
-    return r;
-  }
-
-  if (type == AccessType::Write && cfg_.l1d.write_policy == WritePolicy::WriteThrough) {
+  } else if (type == AccessType::Write &&
+             cfg_.l1d.write_policy == WritePolicy::WriteThrough) {
     // No-write-allocate: a store miss does not bring the line into L1 (the
     // usual pairing with write-through — random stores must not evict the
     // reused read data).  The store goes to L2 via the combining buffer.
     r.served_by = ServedBy::CacheL2;
     r.latency = l1_lat;  // the issuing store observes only the L1 latency...
-    r.complete = wt_store(now + l1_lat, addr, pc);  // ...but drains later
-    return r;
+    r.complete = wt_store(now + l1_lat, addr, pc, sc);  // ...but drains later
+  } else {
+    // L1 load miss (or write-back write miss): go below through the MSHRs
+    // (merging + structural hazards) and allocate the line in L1 at the
+    // victim slot the single-pass lookup already selected.
+    ServedBy served = ServedBy::CacheL2;
+    const Cycle below = fill_from_below(now + l1_lat, addr, pc, served, sc);
+    const Addr line = l1d_.line_base(addr);
+    const Cycle ready = mshr_.on_miss(line, now + l1_lat, below);
+
+    if (auto v = l1d_.fill_at(l1r, addr); v && v->dirty) handle_l2_victim(now, *v, sc);
+    if (type == AccessType::Write) l1d_.set_dirty_at(l1r);
+
+    r.served_by = served;
+    r.complete = ready;
+    r.latency = ready - now;
   }
-
-  // L1 load miss (or write-back write miss): go below through the MSHRs
-  // (merging + structural hazards) and allocate the line in L1.
-  ServedBy served = ServedBy::CacheL2;
-  const Cycle below = fill_from_below(now + l1_lat, addr, pc, served);
-  const Addr line = l1d_.line_base(addr);
-  const Cycle ready = mshr_.on_miss(line, now + l1_lat, below);
-
-  if (auto v = l1d_.fill(addr); v && v->dirty) handle_l2_victim(now, *v);
-  if (type == AccessType::Write) l1d_.set_dirty(addr);
-
-  r.served_by = served;
-  r.complete = ready;
-  r.latency = ready - now;
+  commit(sc);
   return r;
 }
 
 Cycle MemoryHierarchy::dma_read_line(Cycle now, Addr line_addr) {
-  bus_dma_->inc();
+  ++hot_.bus_dma;
   // Coherent dma-get: snoop the hierarchy top-down; copy from the first
   // level that holds the line (the SM is internally coherent so any resident
   // copy is valid), otherwise from main memory.
@@ -215,7 +262,7 @@ Cycle MemoryHierarchy::dma_read_line(Cycle now, Addr line_addr) {
 }
 
 Cycle MemoryHierarchy::dma_write_line(Cycle now, Addr line_addr) {
-  bus_dma_->inc();
+  ++hot_.bus_dma;
   // Coherent dma-put: the line is written to main memory and any cached
   // copy is invalidated (dirty or not — the DMA data is the valid version,
   // see §3.4.2: the LM copy is evicted, the cache copy discarded).

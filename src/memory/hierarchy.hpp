@@ -66,6 +66,13 @@ class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(HierarchyConfig cfg);
 
+  // stats_ holds pointers to the inline hot_ counters below (and the member
+  // caches pin themselves the same way); not movable, not copyable.
+  MemoryHierarchy(const MemoryHierarchy&) = delete;
+  MemoryHierarchy& operator=(const MemoryHierarchy&) = delete;
+  MemoryHierarchy(MemoryHierarchy&&) = delete;
+  MemoryHierarchy& operator=(MemoryHierarchy&&) = delete;
+
   /// Demand access from the core.  @p pc identifies the memory instruction
   /// for prefetcher training.
   AccessResult access(Cycle now, Addr addr, AccessType type, Addr pc);
@@ -109,31 +116,53 @@ class MemoryHierarchy {
   static std::uint64_t total_activity(const SetAssocCache& c);
 
  private:
+  /// Per-access scratch for the hierarchy-level counters: the hot path
+  /// accumulates into plain integers and access() commits them to the
+  /// StatGroup counters once, instead of chasing Counter pointers at every
+  /// event.  (Structure-local counters — cache hits, MSHR merges — stay with
+  /// their structures, which already hold direct Counter pointers.)
+  struct Scratch {
+    std::uint32_t loads = 0;
+    std::uint32_t stores = 0;
+    std::uint32_t wt_traffic = 0;
+    std::uint32_t bus_l1_l2 = 0;
+    std::uint32_t bus_l2_l3 = 0;
+    std::uint32_t bus_l3_mem = 0;
+    Cycle l2_queue = 0;
+    Cycle l3_queue = 0;
+  };
+  void commit(const Scratch& sc);
+
   /// Miss path below L1: lookup L2 then L3 then memory; fill back.  Returns
-  /// the added latency beyond L1 and reports the serving level.
-  Cycle fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served);
+  /// the added latency beyond L1 and reports the serving level.  When
+  /// @p l2_loc is non-null it receives the L2 slot now holding the line, so
+  /// the caller can mark it dirty without another tag scan.
+  Cycle fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served, Scratch& sc,
+                        SetAssocCache::LookupResult* l2_loc = nullptr);
 
   /// Handle a victim evicted from @p level ("L2"/"L3"): dirty lines are
   /// written down (L2 victim -> L3, L3 victim -> memory).
-  void handle_l2_victim(Cycle now, const EvictedLine& v);
-  void handle_l3_victim(Cycle now, const EvictedLine& v);
+  void handle_l2_victim(Cycle now, const EvictedLine& v, Scratch& sc);
+  void handle_l3_victim(Cycle now, const EvictedLine& v, Scratch& sc);
 
-  /// Bring a line into L2 from L3/memory (prefetch fill path).
-  void fetch_below_l2(Cycle now, Addr line);
+  /// Bring a line into L2 from L3/memory (prefetch fill path).  @p l2_miss
+  /// is the missing L2 lookup for @p line (victim slot precomputed).
+  void fetch_below_l2(Cycle now, Addr line, const SetAssocCache::LookupResult& l2_miss,
+                      Scratch& sc);
 
   /// Book one L2 (resp. L3) port slot at or after @p when; returns the start
   /// cycle.  Models finite cache bandwidth.
-  Cycle book_l2(Cycle when);
-  Cycle book_l3(Cycle when);
+  Cycle book_l2(Cycle when, Scratch& sc);
+  Cycle book_l3(Cycle when, Scratch& sc);
 
   /// Write-combining buffer for write-through stores: stores to a line with
   /// a pending write merge into it instead of consuming another L2 slot.
   /// Returns the drain cycle of the write (merged or newly booked).
-  Cycle wt_store(Cycle now, Addr addr, Addr pc);
+  Cycle wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc);
 
-  void run_prefetches_l1(Cycle now, Addr pc, Addr addr);
-  void run_prefetches_l2(Cycle now, Addr pc, Addr addr);
-  void run_prefetches_l3(Cycle now, Addr pc, Addr addr);
+  void run_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& sc);
+  void run_prefetches_l2(Cycle now, Addr pc, Addr addr, Scratch& sc);
+  void run_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& sc);
 
   HierarchyConfig cfg_;
   SetAssocCache l1d_;
@@ -152,16 +181,21 @@ class MemoryHierarchy {
   WcbEntry wcb_[kWcbEntries] = {};
   BandwidthPool l2_pool_;
   BandwidthPool l3_pool_;
+  /// Hierarchy-level counters as inline fields (commit() adds a whole
+  /// Scratch at once); bound into stats_ at construction.
+  struct HotCounters {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t writethrough_traffic = 0;
+    std::uint64_t bus_l1_l2 = 0;
+    std::uint64_t bus_l2_l3 = 0;
+    std::uint64_t bus_l3_mem = 0;
+    std::uint64_t bus_dma = 0;
+    std::uint64_t l2_queue_cycles = 0;
+    std::uint64_t l3_queue_cycles = 0;
+  };
+  HotCounters hot_;
   StatGroup stats_;
-  Counter* loads_;
-  Counter* stores_;
-  Counter* writethrough_traffic_;
-  Counter* bus_l1_l2_;
-  Counter* bus_l2_l3_;
-  Counter* bus_l3_mem_;
-  Counter* bus_dma_;
-  Counter* l2_queue_cycles_;
-  Counter* l3_queue_cycles_;
 };
 
 }  // namespace hm

@@ -39,13 +39,11 @@ class Mshr {
   const StatGroup& stats() const { return stats_; }
 
  private:
-  struct Entry {
-    Addr line = kNoAddr;
-    Cycle ready = 0;
-  };
-
+  // Structure-of-arrays entry storage: the line tags are scanned (vectorized)
+  // on every miss, the ready cycles only for the matching/victim entries.
   MshrConfig cfg_;
-  std::vector<Entry> entries_;
+  std::vector<Addr> lines_;
+  std::vector<Cycle> ready_;
   StatGroup stats_;
   Counter* allocations_;
   Counter* merges_;

@@ -10,61 +10,25 @@ StreamPrefetcher::StreamPrefetcher(std::string name, PrefetcherConfig cfg, Bytes
     : cfg_(cfg), line_size_(line_size), stats_(std::move(name)) {
   if (!is_pow2(cfg_.table_entries)) throw std::invalid_argument("prefetcher table must be pow2");
   if (!is_pow2(line_size_)) throw std::invalid_argument("line size must be pow2");
+  if (cfg_.degree > kMaxPrefetchDegree)
+    throw std::invalid_argument("prefetch degree exceeds the inline candidate-list capacity");
+  line_shift_ = log2_exact(line_size_);
   table_.resize(cfg_.table_entries);
-  trainings_ = &stats_.counter("trainings");
-  collisions_ = &stats_.counter("collisions");
-  prefetches_issued_ = &stats_.counter("prefetches_issued");
-  triggers_ = &stats_.counter("triggers");
+  stats_.bind("trainings", &hot_.trainings);
+  stats_.bind("collisions", &hot_.collisions);
+  stats_.bind("prefetches_issued", &hot_.prefetches_issued);
+  stats_.bind("triggers", &hot_.triggers);
 }
 
-std::size_t StreamPrefetcher::index_of(Addr pc) const {
-  // Xor-fold hash over the instruction-aligned pc; different IPs landing on
-  // the same index model the finite history table the paper blames for
-  // prefetcher breakdown.  Dropping the two alignment bits first keeps
-  // adjacent instructions from aliasing systematically.
-  const std::uint64_t w = pc >> 2;
-  std::uint64_t h = w ^ (w >> 9) ^ (w >> 17);
-  return static_cast<std::size_t>(h & (cfg_.table_entries - 1));
-}
-
-std::vector<Addr> StreamPrefetcher::train(Addr pc, Addr addr) {
-  std::vector<Addr> out;
-  if (!cfg_.enabled) return out;
-  trainings_->inc();
-
-  const Addr line = align_down(addr, line_size_);
-  Entry& e = table_[index_of(pc)];
-
-  if (e.ip_tag != pc) {
-    if (e.ip_tag != 0) collisions_->inc();
-    e = Entry{.ip_tag = pc, .last_line = line, .stride = 0, .confidence = 0};
-    return out;
+void StreamPrefetcher::issue(Addr line, Entry& e, PrefetchList& out) {
+  ++hot_.triggers;
+  for (unsigned d = 1; d <= cfg_.degree; ++d) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(line >> line_shift_) + e.stride * static_cast<std::int64_t>(d);
+    if (target < 0) continue;
+    out.push_back(static_cast<Addr>(target) << line_shift_);
+    ++hot_.prefetches_issued;
   }
-
-  const auto stride = static_cast<std::int64_t>(line / line_size_) -
-                      static_cast<std::int64_t>(e.last_line / line_size_);
-  if (stride == 0) return out;  // same line, nothing to learn
-
-  if (stride == e.stride) {
-    if (e.confidence < cfg_.confidence_threshold) ++e.confidence;
-  } else {
-    e.stride = stride;
-    e.confidence = 1;
-  }
-  e.last_line = line;
-
-  if (e.confidence >= cfg_.confidence_threshold) {
-    triggers_->inc();
-    out.reserve(cfg_.degree);
-    for (unsigned d = 1; d <= cfg_.degree; ++d) {
-      const std::int64_t target =
-          static_cast<std::int64_t>(line / line_size_) + e.stride * static_cast<std::int64_t>(d);
-      if (target < 0) continue;
-      out.push_back(static_cast<Addr>(target) * line_size_);
-      prefetches_issued_->inc();
-    }
-  }
-  return out;
 }
 
 void StreamPrefetcher::reset() {

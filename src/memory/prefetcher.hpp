@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bitops.hpp"
+#include "common/small_vec.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -30,13 +32,57 @@ struct PrefetcherConfig {
   bool enabled = true;
 };
 
+/// Hard cap on the prefetch degree, sized so a trigger's candidate list fits
+/// inline: train() is called up to three times per simulated access (L1, L2,
+/// L3) and must not heap-allocate.
+inline constexpr unsigned kMaxPrefetchDegree = 8;
+
+/// Candidate line list produced by one training event.
+using PrefetchList = SmallVec<Addr, kMaxPrefetchDegree>;
+
 class StreamPrefetcher {
  public:
   StreamPrefetcher(std::string name, PrefetcherConfig cfg, Bytes line_size);
 
+  // stats_ holds pointers to the inline hot_ counters below; moving or
+  // copying would leave them dangling into the old object.
+  StreamPrefetcher(const StreamPrefetcher&) = delete;
+  StreamPrefetcher& operator=(const StreamPrefetcher&) = delete;
+  StreamPrefetcher(StreamPrefetcher&&) = delete;
+  StreamPrefetcher& operator=(StreamPrefetcher&&) = delete;
+
   /// Observe a demand access at @p pc touching @p addr.  Returns the list of
-  /// line base addresses to prefetch (possibly empty).
-  std::vector<Addr> train(Addr pc, Addr addr);
+  /// line base addresses to prefetch (possibly empty).  Allocation-free and
+  /// defined inline — the L1 instance runs once per simulated access.
+  PrefetchList train(Addr pc, Addr addr) {
+    PrefetchList out;
+    if (!cfg_.enabled) return out;
+    ++hot_.trainings;
+
+    const Addr line = align_down(addr, line_size_);
+    Entry& e = table_[index_of(pc)];
+
+    if (e.ip_tag != pc) {
+      if (e.ip_tag != 0) ++hot_.collisions;
+      e = Entry{.ip_tag = pc, .last_line = line, .stride = 0, .confidence = 0};
+      return out;
+    }
+
+    const auto stride = static_cast<std::int64_t>(line >> line_shift_) -
+                        static_cast<std::int64_t>(e.last_line >> line_shift_);
+    if (stride == 0) return out;  // same line, nothing to learn
+
+    if (stride == e.stride) {
+      if (e.confidence < cfg_.confidence_threshold) ++e.confidence;
+    } else {
+      e.stride = stride;
+      e.confidence = 1;
+    }
+    e.last_line = line;
+
+    if (e.confidence >= cfg_.confidence_threshold) issue(line, e, out);
+    return out;
+  }
 
   void reset();
 
@@ -52,16 +98,33 @@ class StreamPrefetcher {
     unsigned confidence = 0;
   };
 
-  std::size_t index_of(Addr pc) const;
+  std::size_t index_of(Addr pc) const {
+    // Xor-fold hash over the instruction-aligned pc; different IPs landing
+    // on the same index model the finite history table the paper blames for
+    // prefetcher breakdown.  Dropping the two alignment bits first keeps
+    // adjacent instructions from aliasing systematically.
+    const std::uint64_t w = pc >> 2;
+    const std::uint64_t h = w ^ (w >> 9) ^ (w >> 17);
+    return static_cast<std::size_t>(h & (cfg_.table_entries - 1));
+  }
+
+  /// Cold path of train(): the stream is confident, emit `degree` lines.
+  void issue(Addr line, Entry& e, PrefetchList& out);
 
   PrefetcherConfig cfg_;
   Bytes line_size_;
+  unsigned line_shift_ = 0;  ///< log2(line_size): line <-> address without divides
   std::vector<Entry> table_;
+  /// Hot counters as inline fields (train runs once per simulated access at
+  /// L1); bound into stats_ at construction.
+  struct HotCounters {
+    std::uint64_t trainings = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t triggers = 0;
+  };
+  HotCounters hot_;
   StatGroup stats_;
-  Counter* trainings_;
-  Counter* collisions_;
-  Counter* prefetches_issued_;
-  Counter* triggers_;
 };
 
 }  // namespace hm

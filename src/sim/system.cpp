@@ -5,16 +5,18 @@ namespace hm {
 System::System(MachineConfig cfg)
     : cfg_(std::move(cfg)),
       hierarchy_(cfg_.hierarchy),
-      lm_(cfg_.has_lm() ? std::optional<LocalMemory>(LocalMemory(cfg_.lm)) : std::nullopt),
+      // std::in_place: the subsystems own StatGroups (immovable), so the
+      // optionals must construct their payloads in place rather than move.
+      lm_(cfg_.has_lm() ? std::optional<LocalMemory>(std::in_place, cfg_.lm) : std::nullopt),
       // The oracle machine keeps a directory object: the DMAC updates it so
       // the core's zero-cost peek can find the valid copy.  Only the
       // HybridCoherent machine pays for it (energy/latency).
-      directory_(cfg_.has_lm() ? std::optional<CoherenceDirectory>(
-                                     CoherenceDirectory(cfg_.directory))
-                               : std::nullopt),
+      directory_(cfg_.has_lm()
+                     ? std::optional<CoherenceDirectory>(std::in_place, cfg_.directory)
+                     : std::nullopt),
       dmac_(cfg_.has_lm()
-                ? std::optional<DmaController>(DmaController(
-                      cfg_.dma, hierarchy_, *lm_, directory_ ? &*directory_ : nullptr, &image_))
+                ? std::optional<DmaController>(std::in_place, cfg_.dma, hierarchy_, *lm_,
+                                               directory_ ? &*directory_ : nullptr, &image_)
                 : std::nullopt),
       core_(cfg_.core, hierarchy_, lm_ ? &*lm_ : nullptr, directory_ ? &*directory_ : nullptr,
             dmac_ ? &*dmac_ : nullptr, &image_),

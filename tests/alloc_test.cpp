@@ -1,0 +1,79 @@
+// Enforces the engine's zero-allocation invariant: once warm, the
+// MemoryHierarchy access path (demand accesses, prefetcher trains and fills,
+// MSHR traffic, write-through stores, DMA bus requests) must not touch the
+// heap.  A counting global operator new catches any regression — the seed's
+// three std::vector allocations per access would trip this immediately.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.hpp"
+#include "memory/hierarchy.hpp"
+
+namespace {
+std::uint64_t g_news = 0;
+}
+
+// Count every allocation path (the aligned/nothrow variants funnel through
+// these in libstdc++; sized deletes must pair with the malloc below).
+void* operator new(std::size_t n) {
+  ++g_news;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hm {
+namespace {
+
+TEST(AllocationFreeFastPath, SteadyStateAccessDoesNotAllocate) {
+  MemoryHierarchy h(HierarchyConfig{});
+  Rng rng(0xF00Du);
+
+  constexpr unsigned kStreams = 12;
+  Addr pos[kStreams];
+  for (unsigned s = 0; s < kStreams; ++s) pos[s] = 0x10'0000ull * (s + 1);
+
+  const auto step = [&](std::size_t n, Cycle& now) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Addr addr;
+      Addr pc;
+      AccessType type = AccessType::Read;
+      if (rng.chance(0.2)) {
+        addr = 0x4000'0000ull + rng.below(1 << 20);
+        pc = 0x480;
+      } else {
+        const unsigned s = static_cast<unsigned>(rng.below(kStreams));
+        addr = pos[s];
+        pos[s] += 8;
+        pc = 0x400 + s * 4;
+        if (rng.chance(0.3)) type = AccessType::Write;
+      }
+      const AccessResult r = h.access(now, addr, type, pc);
+      now = r.complete > now ? r.complete : now + 1;
+      if (rng.chance(0.01)) {
+        // Coherent DMA bus requests ride the same fast path.
+        h.dma_read_line(now, h.l1d().line_base(addr));
+        h.dma_write_line(now, h.l1d().line_base(addr));
+      }
+    }
+  };
+
+  Cycle now = 0;
+  step(100'000, now);  // warm up: caches, MSHR, bandwidth rings, prefetchers
+
+  const std::uint64_t before = g_news;
+  step(200'000, now);
+  const std::uint64_t after = g_news;
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state access path performed " << (after - before) << " heap allocations";
+}
+
+}  // namespace
+}  // namespace hm

@@ -1,6 +1,7 @@
 // Unit tests for the set-associative cache tag array.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "memory/cache.hpp"
 
 namespace hm {
@@ -183,6 +184,94 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(Bytes{4096}, 8u), std::make_tuple(Bytes{32768}, 8u),
                       std::make_tuple(Bytes{65536}, 8u), std::make_tuple(Bytes{262144}, 24u),
                       std::make_tuple(Bytes{4194304}, 32u)));
+
+// The single-pass API — access()/fill_at()/set_dirty_at() — must be
+// observably identical to the legacy touch()/fill()/set_dirty() sequence:
+// same hits, same victims, same dirty bits, same statistics.  Drive two
+// caches through the same randomized trace, one per API, and compare
+// everything.  Runs over both write policies and both power-of-two and
+// non-power-of-two (the paper's 170-set L2) geometries.
+class CacheApiEquivalence
+    : public ::testing::TestWithParam<std::tuple<Bytes, unsigned, WritePolicy>> {};
+
+TEST_P(CacheApiEquivalence, RandomTraceMatchesLegacyApi) {
+  const auto [size, assoc, wp] = GetParam();
+  const CacheConfig cfg{.name = "eq", .size = size, .associativity = assoc, .line_size = 64,
+                        .latency = 1, .write_policy = wp};
+  SetAssocCache legacy(cfg);
+  SetAssocCache fast(cfg);
+  Rng rng(0xC0FFEEu);
+
+  // Working set ~4x the cache so misses, evictions and LRU decisions are
+  // all exercised.
+  const Addr span = static_cast<Addr>(size) * 4;
+  for (int i = 0; i < 60000; ++i) {
+    const Addr addr = rng.below(span);
+    const auto op = rng.below(100);
+    if (op < 70) {
+      const AccessType type = rng.chance(0.4) ? AccessType::Write : AccessType::Read;
+      const bool l_hit = legacy.touch(addr, type);
+      std::optional<EvictedLine> l_ev;
+      if (!l_hit) {
+        l_ev = legacy.fill(addr);
+        if (type == AccessType::Write) legacy.set_dirty(addr);
+      }
+
+      const auto f = fast.access(addr, type);
+      std::optional<EvictedLine> f_ev;
+      if (!f.hit) {
+        f_ev = fast.fill_at(f, addr);
+        if (type == AccessType::Write) fast.set_dirty_at(f);
+      }
+
+      ASSERT_EQ(l_hit, f.hit) << "addr=" << addr;
+      ASSERT_EQ(l_ev.has_value(), f_ev.has_value()) << "addr=" << addr;
+      if (l_ev) {
+        ASSERT_EQ(l_ev->line_addr, f_ev->line_addr);
+        ASSERT_EQ(l_ev->dirty, f_ev->dirty);
+      }
+    } else if (op < 85) {
+      // Prefetch-style fill of a possibly-resident line.
+      const auto l_ev = legacy.fill(addr, /*from_prefetch=*/true);
+      const auto p = fast.peek(addr);
+      std::optional<EvictedLine> f_ev;
+      if (!p.hit) f_ev = fast.fill_at(p, addr, /*from_prefetch=*/true);
+      ASSERT_EQ(l_ev.has_value(), f_ev.has_value());
+      if (l_ev) {
+        ASSERT_EQ(l_ev->line_addr, f_ev->line_addr);
+        ASSERT_EQ(l_ev->dirty, f_ev->dirty);
+      }
+    } else if (op < 95) {
+      const auto l_inv = legacy.invalidate(addr);
+      const auto f_inv = fast.invalidate(addr);
+      ASSERT_EQ(l_inv.has_value(), f_inv.has_value());
+      if (l_inv) {
+        ASSERT_EQ(l_inv->line_addr, f_inv->line_addr);
+        ASSERT_EQ(l_inv->dirty, f_inv->dirty);
+      }
+    } else {
+      ASSERT_EQ(legacy.probe(addr), fast.probe(addr));
+    }
+  }
+
+  EXPECT_EQ(legacy.valid_lines(), fast.valid_lines());
+  // Both sides performed the same logical operations, so every counter —
+  // lookups, hits, misses, fills, evictions, dirty evictions — must agree.
+  EXPECT_EQ(legacy.stats().snapshot(), fast.stats().snapshot());
+  // Residency agrees across the whole working set.
+  for (Addr a = 0; a < span; a += 64) {
+    ASSERT_EQ(legacy.contains(a), fast.contains(a)) << "addr=" << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CacheApiEquivalence,
+    ::testing::Values(
+        std::make_tuple(Bytes{4096}, 8u, WritePolicy::WriteBack),
+        std::make_tuple(Bytes{4096}, 8u, WritePolicy::WriteThrough),
+        std::make_tuple(Bytes{32768}, 8u, WritePolicy::WriteThrough),
+        std::make_tuple(Bytes{262144}, 24u, WritePolicy::WriteBack),   // 170 sets
+        std::make_tuple(Bytes{4194304}, 32u, WritePolicy::WriteBack)));
 
 }  // namespace
 }  // namespace hm

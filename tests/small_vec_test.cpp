@@ -1,0 +1,94 @@
+// Unit tests for the fixed-capacity inline vector used on the engine's
+// allocation-free fast path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+
+namespace hm {
+namespace {
+
+TEST(SmallVec, StartsEmpty) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.full());
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(SmallVec, PushBackAndIndex) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.push_back(10));
+  EXPECT_TRUE(v.push_back(20));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(SmallVec, CapacityOverflowRejectsAndPreserves) {
+  SmallVec<int, 3> v;
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_TRUE(v.push_back(3));
+  EXPECT_TRUE(v.full());
+  // Overflow: push_back reports failure and the contents do not change.
+  EXPECT_FALSE(v.push_back(4));
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, Copy) {
+  SmallVec<Addr, 8> a;
+  for (Addr i = 0; i < 5; ++i) a.push_back(i * 64);
+  SmallVec<Addr, 8> b = a;  // copy construction
+  EXPECT_EQ(a, b);
+  b.push_back(999);
+  EXPECT_EQ(a.size(), 5u);  // deep copy: a unchanged
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_NE(a, b);
+  a = b;  // copy assignment
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVec, Iteration) {
+  SmallVec<int, 8> v;
+  for (int i = 1; i <= 6; ++i) v.push_back(i);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 21);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 21);
+  // Iteration covers exactly size() elements, not capacity.
+  EXPECT_EQ(v.end() - v.begin(), 6);
+}
+
+TEST(SmallVec, ClearAndReuse) {
+  SmallVec<int, 2> v{7, 8};
+  EXPECT_EQ(v.size(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.push_back(9));
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVec, InitializerListTruncatesAtCapacity) {
+  SmallVec<int, 2> v{1, 2, 3, 4};
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+}
+
+TEST(SmallVec, PopBack) {
+  SmallVec<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+}  // namespace
+}  // namespace hm
