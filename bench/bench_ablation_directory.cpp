@@ -1,64 +1,8 @@
-// Ablation (DESIGN.md §5.2): directory size sweep.
+// Ablation (DESIGN.md §5.2): directory size sweep.  Fewer entries cap the
+// number of LM buffers, demoting strided references to the caches.
 //
-// The paper fixes the directory at 32 entries to keep the CAM in the AGU
-// cycle (§3.2) and argues loops rarely need more.  This sweep shows what the
-// entry count costs: fewer entries cap the number of LM buffers, demoting
-// strided references to the caches.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "ablation_directory" experiment spec
+// (src/driver); use `hm_sweep --filter ablation_directory` for JSON/CSV.
+#include "driver/sweep.hpp"
 
-#include "compiler/classify.hpp"
-
-namespace {
-
-using namespace hmbench;
-
-struct SweepResult {
-  double cycles = 0;
-  unsigned mapped = 0;
-  unsigned demoted = 0;
-};
-
-SweepResult run_with_entries(const Workload& w, unsigned entries) {
-  MachineConfig cfg = MachineConfig::hybrid_coherent();
-  cfg.directory.entries = entries;
-  System sys(std::move(cfg));
-  CompiledKernel k = compile(w.loop, {.variant = CodegenVariant::HybridProtocol},
-                             sys.lm()->base(), sys.lm()->size(), entries);
-  SweepResult out;
-  out.cycles = static_cast<double>(sys.run(k).cycles());
-  out.mapped = k.classification().num_regular;
-  out.demoted = k.classification().demoted_regular;
-  return out;
-}
-
-void BM_DirectorySize(benchmark::State& state) {
-  const Workload w = make_ft(bench_scale());  // 30 strided refs: most sensitive
-  const auto entries = static_cast<unsigned>(state.range(0));
-  SweepResult r;
-  for (auto _ : state) r = run_with_entries(w, entries);
-  state.counters["sim_cycles"] = r.cycles;
-  state.counters["mapped_refs"] = r.mapped;
-}
-BENCHMARK(BM_DirectorySize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Ablation: directory entry count (FT and MG, 30 strided refs each)");
-  for (const Workload& w : {make_ft(bench_scale()), make_mg(bench_scale())}) {
-    std::printf("%s:\n%8s %10s %10s %14s %10s\n", w.name.c_str(), "Entries", "Mapped",
-                "Demoted", "Cycles", "vs 32");
-    const SweepResult base = run_with_entries(w, 32);
-    for (unsigned entries : {4u, 8u, 16u, 32u, 64u}) {
-      const SweepResult r = run_with_entries(w, entries);
-      std::printf("%8u %10u %10u %14.0f %10.3f\n", entries, r.mapped, r.demoted, r.cycles,
-                  r.cycles / base.cycles);
-    }
-  }
-  std::printf("\n32 entries capture all mapped references of every kernel; smaller\n"
-              "directories demote strided refs to the caches and lose the LM benefit.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("ablation_directory"); }

@@ -1,52 +1,8 @@
 // Ablation (DESIGN.md §5.1): the double store vs the naive alternative of
 // disabling the read-only write-back optimization (§3.1 discusses both).
 //
-// Both strategies are functionally correct; the double store only adds an
-// extra (usually collapsed) store, while always-write-back pays a dma-put of
-// every buffer every tile.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "ablation_double_store" experiment spec
+// (src/driver); use `hm_sweep --filter ablation_double_store` for JSON/CSV.
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-double run_cycles(const Workload& w, bool disable_readonly_opt) {
-  const MachineConfig m = MachineConfig::hybrid_coherent();
-  System sys(MachineConfig::hybrid_coherent());
-  CompiledKernel k = compile(w.loop,
-                             {.variant = CodegenVariant::HybridProtocol,
-                              .disable_readonly_opt = disable_readonly_opt},
-                             m.lm.virtual_base, m.lm.size);
-  return static_cast<double>(sys.run(k).cycles());
-}
-
-void BM_DoubleStoreStrategy(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  const bool naive = state.range(1) != 0;
-  double cycles = 0.0;
-  for (auto _ : state) cycles = run_cycles(w, naive);
-  state.SetLabel(w.name + (naive ? "/always-writeback" : "/double-store"));
-  state.counters["sim_cycles"] = cycles;
-}
-BENCHMARK(BM_DoubleStoreStrategy)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Ablation: double store vs disabling the read-only write-back optimization");
-  std::printf("%-6s %16s %18s %10s\n", "Bench", "Double store", "Always writeback",
-              "Naive/DS");
-  for (const Workload& w : all_nas_workloads(bench_scale())) {
-    const double ds = run_cycles(w, false);
-    const double naive = run_cycles(w, true);
-    std::printf("%-6s %16.0f %18.0f %10.3f\n", w.name.c_str(), ds, naive, naive / ds);
-  }
-  std::printf("\nThe double store never loses; always-write-back pays extra dma-puts\n"
-              "(\"incurring in high performance penalties\", §3.1).\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("ablation_double_store"); }

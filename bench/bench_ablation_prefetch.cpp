@@ -1,56 +1,8 @@
 // Ablation (DESIGN.md §5.4): how much of the hybrid machine's win over the
 // cache-based machine comes from avoiding prefetcher pollution/collisions.
 //
-// The cache-based machine is run with prefetching enabled and disabled; the
-// hybrid machine barely uses the prefetchers (its strided traffic goes to
-// the LM), so its number is shown once for reference.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "ablation_prefetch" experiment spec
+// (src/driver); use `hm_sweep --filter ablation_prefetch` for JSON/CSV.
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-double cache_cycles(const Workload& w, bool prefetch) {
-  MachineConfig cfg = MachineConfig::cache_based();
-  cfg.hierarchy.pf_l1.enabled = prefetch;
-  cfg.hierarchy.pf_l2.enabled = prefetch;
-  cfg.hierarchy.pf_l3.enabled = prefetch;
-  System sys(std::move(cfg));
-  const MachineConfig m = MachineConfig::hybrid_coherent();
-  CompiledKernel k = compile(w.loop, {.variant = CodegenVariant::CacheOnly},
-                             m.lm.virtual_base, m.lm.size);
-  return static_cast<double>(sys.run(k).cycles());
-}
-
-void BM_CachePrefetch(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  const bool pf = state.range(1) != 0;
-  double cycles = 0.0;
-  for (auto _ : state) cycles = cache_cycles(w, pf);
-  state.SetLabel(w.name + (pf ? "/pf-on" : "/pf-off"));
-  state.counters["sim_cycles"] = cycles;
-}
-BENCHMARK(BM_CachePrefetch)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {1, 0}})
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Ablation: cache-based machine with/without prefetching vs hybrid");
-  std::printf("%-6s %12s %12s %12s %12s\n", "Bench", "PF on", "PF off", "off/on", "Hybrid");
-  for (const Workload& w : all_nas_workloads(bench_scale())) {
-    const double on = cache_cycles(w, true);
-    const double off = cache_cycles(w, false);
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    std::printf("%-6s %12.0f %12.0f %12.3f %12.0f\n", w.name.c_str(), on, off, off / on,
-                static_cast<double>(rh.cycles()));
-  }
-  std::printf("\nPrefetching helps the cache-based machine most on few-stream kernels\n"
-              "(CG, EP); with many streams (FT, MG, SP) the history tables collide and\n"
-              "the benefit shrinks — the effect §4.3 reports.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("ablation_prefetch"); }

@@ -1,9 +1,9 @@
 // Engine throughput benchmark: how many simulated memory accesses (and
 // simulated cycles) per wall-clock second the cycle-level engine sustains.
 //
-// This is the binding constraint on the paper-series sweeps (Figs. 7-10,
-// Tables 1/3 run many machine configurations x NAS kernels through the
-// engine), so its trajectory is tracked from this PR onward via
+// This is the binding constraint on the paper-series sweeps (the hm_sweep
+// experiments push many machine configurations x NAS kernels through the
+// engine), so its trajectory is tracked from PR 1 onward via
 // BENCH_engine.json.  Two views:
 //
 //  * BM_HierarchyAccess — the per-access hot path in isolation: a
@@ -11,17 +11,23 @@
 //    stores) driven straight into MemoryHierarchy::access.  Reports
 //    simulated accesses/second.
 //  * BM_SystemRun — a whole System::run of a NAS-like kernel per machine
-//    kind.  Reports simulated cycles/second.
-#include "bench_common.hpp"
+//    kind, through the sweep driver's run_point (the same path hm_sweep
+//    jobs take).  Reports simulated cycles/second.
+#include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "driver/registry.hpp"
+#include "driver/sweep.hpp"
 #include "memory/hierarchy.hpp"
 
 namespace {
 
-using namespace hmbench;
+using namespace hm;
 
 // ------------------------------------------------------------------------
 // A deterministic mixed access trace, regenerated identically per run,
@@ -69,18 +75,11 @@ class TraceGen {
   Addr stream_pos_[kStreams];
 };
 
-HierarchyConfig hierarchy_for(MachineKind kind) {
-  MachineConfig cfg = kind == MachineKind::HybridCoherent ? MachineConfig::hybrid_coherent()
-                      : kind == MachineKind::HybridOracle ? MachineConfig::hybrid_oracle()
-                                                          : MachineConfig::cache_based();
-  return cfg.hierarchy;
-}
-
 void BM_HierarchyAccess(benchmark::State& state) {
   constexpr std::size_t kOpsPerIteration = 1 << 16;
   const auto kind = static_cast<MachineKind>(state.range(0));
   TraceGen gen;
-  MemoryHierarchy hier(hierarchy_for(kind));
+  MemoryHierarchy hier(driver::make_machine(driver::machine_name(kind)).hierarchy);
   Cycle now = 0;
   std::uint64_t accesses = 0;
   Cycle checksum = 0;  // keeps the access results live without a per-op fence
@@ -106,12 +105,16 @@ BENCHMARK(BM_HierarchyAccess)
 
 void BM_SystemRun(benchmark::State& state) {
   const auto kind = static_cast<MachineKind>(state.range(0));
-  const Workload wl = make_cg({.factor = 0.2});
+  driver::SweepPoint point;
+  point.label = "bench_engine/system_run";
+  point.machine = driver::machine_name(kind);
+  point.workload = "CG";
+  point.scale = 0.2;
   std::uint64_t sim_cycles = 0;
   for (auto _ : state) {
-    const RunReport rep = run_on(kind, wl.loop);
-    sim_cycles += rep.cycles();
-    benchmark::DoNotOptimize(rep.amat);
+    const driver::PointResult res = driver::run_point(point);
+    sim_cycles += res.report.cycles();
+    benchmark::DoNotOptimize(res.report.amat);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
   state.counters["sim_cycles_per_sec"] =
@@ -126,7 +129,7 @@ BENCHMARK(BM_SystemRun)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_header("Engine throughput (simulated accesses/sec, cycles/sec)");
+  std::printf("\n==== Engine throughput (simulated accesses/sec, cycles/sec) ====\n");
   // Default to emitting BENCH_engine.json next to the working directory so
   // the perf trajectory is tracked run over run; an explicit --benchmark_out
   // on the command line wins.

@@ -2,49 +2,8 @@
 // the cache-based machine, broken down into CPU / Caches / LM / Others (all
 // normalized to the cache-based total).
 //
-// Paper reference: every kernel saves 12-41% energy; average saving 27%.
-// Savings come mostly from the cache hierarchy (fewer accesses, fewer
-// prefetches) and the CPU (fewer re-executed instructions); the LM and the
-// DMA engine each cost less than 5%.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "fig10" experiment spec (src/driver);
+// use `hm_sweep --filter fig10` for JSON/CSV output and memo-cached re-runs.
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-void BM_Fig10(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  double saving = 0.0;
-  for (auto _ : state) {
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    const RunReport rc = run_on(MachineKind::CacheBased, w.loop);
-    saving = 1.0 - rh.total_energy() / rc.total_energy();
-  }
-  state.SetLabel(w.name);
-  state.counters["energy_saving"] = saving;
-}
-BENCHMARK(BM_Fig10)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Fig. 10: energy, hybrid (CPU/Caches/LM/Others) vs cache-based (=1.0)");
-  std::printf("%-6s %8s %8s %8s %8s %8s %9s\n", "Bench", "CPU", "Caches", "LM", "Others",
-              "Total", "Saving");
-  double sum = 0.0;
-  for (const Workload& w : all_nas_workloads(bench_scale())) {
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    const RunReport rc = run_on(MachineKind::CacheBased, w.loop);
-    const EnergySplit s = energy_split(rh, rc.total_energy());
-    const double saving = 1.0 - s.total();
-    std::printf("%-6s %8.3f %8.3f %8.3f %8.3f %8.3f %8.1f%%\n", w.name.c_str(), s.cpu,
-                s.caches, s.lm, s.others, s.total(), 100.0 * saving);
-    sum += saving;
-  }
-  std::printf("%-6s %44s %7.1f%%\n", "AVG", "", 100.0 * sum / 6.0);
-  std::printf("\nPaper: savings between 12%% and 41%%; average 27%%.  LM weight < 5%%.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("fig10"); }

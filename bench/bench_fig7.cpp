@@ -2,57 +2,8 @@
 // microbenchmark, for the RD / WR / RD-WR modes, as a function of the
 // percentage of guarded references.
 //
-// Paper reference: the RD line is flat at 1.0 (guarded loads are free); the
-// WR and RD/WR lines grow linearly with the double-store fraction, reaching
-// ~1.28 at 100% (from a ~26% instruction-count increase).
-#include "bench_common.hpp"
+// Thin wrapper over the registered "fig7" experiment spec (src/driver);
+// use `hm_sweep --filter fig7` for JSON/CSV output and memo-cached re-runs.
+#include "driver/sweep.hpp"
 
-#include "workloads/microbench.hpp"
-
-namespace {
-
-using namespace hmbench;
-
-constexpr std::uint64_t kIterations = 100'000;
-
-double overhead(MicroMode mode, unsigned pct) {
-  System sys(MachineConfig::hybrid_coherent());
-  Microbenchmark base({.mode = MicroMode::Baseline, .guarded_pct = 0, .iterations = kIterations});
-  const double t_base = static_cast<double>(sys.run(base).cycles());
-  Microbenchmark mb({.mode = mode, .guarded_pct = pct, .iterations = kIterations});
-  const double t_mode = static_cast<double>(sys.run(mb).cycles());
-  return t_mode / t_base;
-}
-
-void BM_Microbench(benchmark::State& state) {
-  const auto mode = static_cast<MicroMode>(state.range(0));
-  const auto pct = static_cast<unsigned>(state.range(1));
-  double ratio = 1.0;
-  for (auto _ : state) ratio = overhead(mode, pct);
-  state.counters["overhead"] = ratio;
-}
-BENCHMARK(BM_Microbench)
-    ->ArgsProduct({{static_cast<int>(MicroMode::RD), static_cast<int>(MicroMode::WR),
-                    static_cast<int>(MicroMode::RDWR)},
-                   {0, 50, 100}})
-    ->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Fig. 7: microbenchmark overhead vs % of guarded instructions");
-  std::printf("%-6s", "%grd");
-  for (MicroMode m : {MicroMode::RD, MicroMode::WR, MicroMode::RDWR})
-    std::printf("%10s", to_string(m));
-  std::printf("\n");
-  for (unsigned pct = 0; pct <= 100; pct += 10) {
-    std::printf("%-6u", pct);
-    for (MicroMode m : {MicroMode::RD, MicroMode::WR, MicroMode::RDWR})
-      std::printf("%10.3f", overhead(m, pct));
-    std::printf("\n");
-  }
-  std::printf("\nPaper: RD flat at ~1.00; WR and RD/WR linear, ~1.28 at 100%%\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("fig7"); }

@@ -2,57 +2,8 @@
 // the coherent hybrid machine vs the incoherent hybrid machine with an
 // oracle compiler (§4.2).
 //
-// Paper reference: execution-time overhead is zero for CG/MG/SP (no double
-// stores needed), 1.03% for FT, 0.44% for IS, ~0 for EP; average 0.26%.
-// Energy overhead is <2% everywhere except IS (~5%); average 2.03%.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "fig8" experiment spec (src/driver);
+// use `hm_sweep --filter fig8` for JSON/CSV output and memo-cached re-runs.
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-struct Overhead {
-  double time = 1.0;
-  double energy = 1.0;
-};
-
-Overhead measure(const Workload& w) {
-  const RunReport h = run_on(MachineKind::HybridCoherent, w.loop);
-  const RunReport o = run_on(MachineKind::HybridOracle, w.loop);
-  Overhead out;
-  out.time = static_cast<double>(h.cycles()) / static_cast<double>(o.cycles());
-  out.energy = h.total_energy() / o.total_energy();
-  return out;
-}
-
-void BM_Fig8(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  Overhead ov;
-  for (auto _ : state) ov = measure(w);
-  state.SetLabel(w.name);
-  state.counters["time_overhead"] = ov.time;
-  state.counters["energy_overhead"] = ov.energy;
-}
-BENCHMARK(BM_Fig8)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Fig. 8: protocol overhead vs oracle-incoherent hybrid");
-  std::printf("%-6s %16s %16s\n", "Bench", "Exec time", "Energy");
-  double sum_t = 0.0, sum_e = 0.0;
-  const auto all = all_nas_workloads(bench_scale());
-  for (const Workload& w : all) {
-    const Overhead ov = measure(w);
-    std::printf("%-6s %16.4f %16.4f\n", w.name.c_str(), ov.time, ov.energy);
-    sum_t += ov.time;
-    sum_e += ov.energy;
-  }
-  std::printf("%-6s %16.4f %16.4f\n", "AVG", sum_t / 6.0, sum_e / 6.0);
-  std::printf("\nPaper: avg 1.0026 (0.26%%) execution time, 1.0203 (2.03%%) energy;\n"
-              "       zero time overhead where no double store is needed.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("fig8"); }

@@ -2,48 +2,8 @@
 // cache-based machine, with the hybrid bar split into work / synch / control
 // phases (both normalized to the cache-based execution time).
 //
-// Paper reference: speedups CG 1.34, EP ~1.0, FT 1.30, IS 1.55, MG 1.64,
-// SP 1.66; average 1.38 (28% time reduction).  The hybrid reduction comes
-// from the work phase; control+synch add a visible but small tax.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "fig9" experiment spec (src/driver);
+// use `hm_sweep --filter fig9` for JSON/CSV output and memo-cached re-runs.
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-void BM_Fig9(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  double speedup = 0.0;
-  for (auto _ : state) {
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    const RunReport rc = run_on(MachineKind::CacheBased, w.loop);
-    speedup = static_cast<double>(rc.cycles()) / static_cast<double>(rh.cycles());
-  }
-  state.SetLabel(w.name);
-  state.counters["speedup"] = speedup;
-}
-BENCHMARK(BM_Fig9)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Fig. 9: execution time, hybrid (work/synch/control) vs cache-based (=1.0)");
-  std::printf("%-6s %8s %8s %8s %8s %9s\n", "Bench", "Work", "Synch", "Control", "Total",
-              "Speedup");
-  double sum = 0.0;
-  for (const Workload& w : all_nas_workloads(bench_scale())) {
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    const RunReport rc = run_on(MachineKind::CacheBased, w.loop);
-    const PhaseSplit s = phase_split(rh, rc.cycles());
-    const double speedup = static_cast<double>(rc.cycles()) / static_cast<double>(rh.cycles());
-    std::printf("%-6s %8.3f %8.3f %8.3f %8.3f %9.2fx\n", w.name.c_str(), s.work, s.synch,
-                s.control, s.total(), speedup);
-    sum += speedup;
-  }
-  std::printf("%-6s %35s %8.2fx\n", "AVG", "", sum / 6.0);
-  std::printf("\nPaper: CG 1.34x, EP ~1.0x, FT 1.30x, IS 1.55x, MG 1.64x, SP 1.66x; avg 1.38x\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("fig9"); }

@@ -1,42 +1,8 @@
-// Table 1: simulator configuration parameters.
+// Table 1: simulator configuration parameters — the three simulated
+// machines (the hybrid machine matches Table 1 of the paper; the
+// cache-based machine is the §4.3 comparison with the enlarged 64 KB L1).
 //
-// Prints the configuration of the three simulated machines (the hybrid
-// machine matches Table 1 of the paper; the cache-based machine is the §4.3
-// comparison with the enlarged 64 KB L1) and benchmarks System construction
-// so configuration costs stay visible.
-#include "bench_common.hpp"
+// Thin wrapper over the registered "table1" experiment spec (src/driver).
+#include "driver/sweep.hpp"
 
-namespace {
-
-using namespace hmbench;
-
-void BM_SystemConstruction(benchmark::State& state) {
-  const auto kind = static_cast<MachineKind>(state.range(0));
-  for (auto _ : state) {
-    MachineConfig cfg = kind == MachineKind::HybridCoherent ? MachineConfig::hybrid_coherent()
-                        : kind == MachineKind::HybridOracle ? MachineConfig::hybrid_oracle()
-                                                            : MachineConfig::cache_based();
-    System sys(std::move(cfg));
-    benchmark::DoNotOptimize(&sys);
-  }
-}
-BENCHMARK(BM_SystemConstruction)
-    ->Arg(static_cast<int>(MachineKind::HybridCoherent))
-    ->Arg(static_cast<int>(MachineKind::HybridOracle))
-    ->Arg(static_cast<int>(MachineKind::CacheBased));
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Table 1: simulated machine configurations");
-  for (MachineKind k : {MachineKind::HybridCoherent, MachineKind::HybridOracle,
-                        MachineKind::CacheBased}) {
-    MachineConfig cfg = k == MachineKind::HybridCoherent ? MachineConfig::hybrid_coherent()
-                        : k == MachineKind::HybridOracle ? MachineConfig::hybrid_oracle()
-                                                         : MachineConfig::cache_based();
-    std::printf("%s\n", cfg.describe().c_str());
-  }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("table1"); }

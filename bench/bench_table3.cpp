@@ -1,46 +1,9 @@
 // Table 3: activity in the memory subsystem for the hybrid-coherent and
 // cache-based machines — guarded-reference ratio, AMAT, L1 hit ratio and
 // access counts for every structure.
-#include "bench_common.hpp"
+//
+// Thin wrapper over the registered "table3" experiment spec (src/driver);
+// use `hm_sweep --filter table3` for JSON/CSV output and memo-cached re-runs.
+#include "driver/sweep.hpp"
 
-#include "compiler/classify.hpp"
-
-namespace {
-
-using namespace hmbench;
-
-void BM_Table3(benchmark::State& state) {
-  const auto all = all_nas_workloads(bench_scale());
-  const Workload& w = all[static_cast<std::size_t>(state.range(0))];
-  const bool hybrid = state.range(1) != 0;
-  RunReport r;
-  for (auto _ : state)
-    r = run_on(hybrid ? MachineKind::HybridCoherent : MachineKind::CacheBased, w.loop);
-  state.SetLabel(w.name + (hybrid ? "/hybrid" : "/cache"));
-  state.counters["amat"] = r.amat;
-  state.counters["l1_hit_pct"] = r.l1_hit_ratio;
-  state.counters["lm_accesses"] = static_cast<double>(r.lm_accesses);
-  state.counters["dir_accesses"] = static_cast<double>(r.directory_accesses);
-}
-BENCHMARK(BM_Table3)->ArgsProduct({{0, 1, 2, 3, 4, 5}, {1, 0}})->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  print_header("Table 3: memory-subsystem activity (hybrid coherent vs cache-based)");
-  std::vector<Table3Row> rows;
-  for (const Workload& w : all_nas_workloads(bench_scale())) {
-    const RunReport rh = run_on(MachineKind::HybridCoherent, w.loop);
-    const RunReport rc = run_on(MachineKind::CacheBased, w.loop);
-    rows.push_back(make_table3_row(w.name, "Hybrid coherent", w.reported_guarded,
-                                   w.reported_total, rh));
-    rows.push_back(make_table3_row(w.name, "Cache-based", 0, w.reported_total, rc));
-  }
-  std::printf("%s", format_table3(rows).c_str());
-  std::printf("\nPaper shape: hybrid AMAT < cache AMAT and hybrid L1 hit%% > cache L1 hit%%\n"
-              "for every kernel; SP has zero directory accesses; cache rows have zero\n"
-              "LM/directory activity.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main() { return hm::driver::bench_main("table3"); }

@@ -18,4 +18,8 @@ else
   echo "bench_engine not built (HM_BUILD_BENCH=OFF?) — skipping perf smoke"
 fi
 
+# Sweep-driver smoke: the Fig. 7 experiment on two workers exercises the
+# scheduler, the registries and the renderer end to end.
+(cd build && ./hm_sweep --filter fig7 --jobs 2 --no-cache --quiet)
+
 echo "check.sh: all green"

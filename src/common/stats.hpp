@@ -100,6 +100,15 @@ class Accumulator {
   double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
   void reset() noexcept { *this = Accumulator{}; }
 
+  /// Rebuild from serialized statistics (inverse of reading count/sum/min/
+  /// max) — used when reports are rehydrated from the sweep memo cache.
+  void restore(std::uint64_t count, double sum, double min, double max) noexcept {
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -1,0 +1,355 @@
+// The nine paper experiments (Figs. 7-10, Tables 1/3, the DESIGN.md
+// ablations) as declarative specs.  Each renderer regenerates exactly the
+// table its bench binary printed before the driver existed — that
+// byte-identity is the refactor's correctness anchor — while the points
+// themselves are shared: Figs. 8/9/10 and Table 3 reuse the same hybrid
+// and cache-based runs through the memo/session caches.
+//
+// All specs use SeedPolicy::PaperFixed: the published tables pin the
+// historical global seed (kPaperSeed), which also makes physically
+// identical points hash identically across experiments.
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/registry.hpp"
+#include "driver/result.hpp"
+#include "driver/sweep.hpp"
+#include "sim/report.hpp"
+#include "workloads/microbench.hpp"
+
+namespace hm::driver {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, f);
+  std::vsnprintf(buf, sizeof(buf), f, args);
+  va_end(args);
+  return buf;
+}
+
+const std::vector<std::string>& nas_names() {
+  static const std::vector<std::string> names = {"CG", "EP", "FT", "IS", "MG", "SP"};
+  return names;
+}
+
+double cycles_of(const RunReport& r) { return static_cast<double>(r.cycles()); }
+
+// ---------------------------------------------------------------- fig7 ----
+
+std::string render_fig7(const SweepView& v) {
+  // Knob values (no '/' — they appear in labels) paired with the MicroMode
+  // whose to_string() the original bench printed in the header.
+  static constexpr std::pair<const char*, MicroMode> kModes[] = {
+      {"RD", MicroMode::RD}, {"WR", MicroMode::WR}, {"RDWR", MicroMode::RDWR}};
+  const double base = cycles_of(v.report({{"micro_mode", "Baseline"}}));
+  std::string os = fmt("%-6s", "%grd");
+  for (const auto& [knob, mode] : kModes) os += fmt("%10s", to_string(mode));
+  os += "\n";
+  for (unsigned pct = 0; pct <= 100; pct += 10) {
+    os += fmt("%-6u", pct);
+    for (const auto& [knob, mode] : kModes) {
+      const RunReport& r =
+          v.report({{"micro_mode", knob}, {"micro_pct", std::to_string(pct)}});
+      os += fmt("%10.3f", cycles_of(r) / base);
+    }
+    os += "\n";
+  }
+  os += "\nPaper: RD flat at ~1.00; WR and RD/WR linear, ~1.28 at 100%\n";
+  return os;
+}
+
+ExperimentSpec fig7_spec() {
+  ExperimentSpec s;
+  s.name = "fig7";
+  s.title = "Fig. 7: microbenchmark overhead vs % of guarded instructions";
+  s.artifact = "Fig. 7";
+  s.scale = 0.5;  // micro: 100'000 iterations, the paper's kIterations
+  Grid baseline;
+  baseline.tag = "base";
+  baseline.base = {{"machine", "hybrid_coherent"},
+                   {"workload", "micro"},
+                   {"micro_mode", "Baseline"},
+                   {"micro_pct", "0"}};
+  Grid modes;
+  modes.base = {{"machine", "hybrid_coherent"}, {"workload", "micro"}};
+  modes.axes = {{"micro_mode", {"RD", "WR", "RDWR"}},
+                {"micro_pct", {"0", "10", "20", "30", "40", "50", "60", "70", "80", "90", "100"}}};
+  s.grids = {baseline, modes};
+  s.render = render_fig7;
+  return s;
+}
+
+// ---------------------------------------------------------------- fig8 ----
+
+Grid nas_machines_grid(std::vector<std::string> machines) {
+  Grid g;
+  g.axes = {{"workload", nas_names()}, {"machine", std::move(machines)}};
+  return g;
+}
+
+std::string render_fig8(const SweepView& v) {
+  std::string os = fmt("%-6s %16s %16s\n", "Bench", "Exec time", "Energy");
+  std::vector<double> times, energies;
+  for (const std::string& w : nas_names()) {
+    const RunReport& h = v.report({{"workload", w}, {"machine", "hybrid_coherent"}});
+    const RunReport& o = v.report({{"workload", w}, {"machine", "hybrid_oracle"}});
+    const double time = cycles_of(h) / cycles_of(o);
+    const double energy = h.total_energy() / o.total_energy();
+    os += fmt("%-6s %16.4f %16.4f\n", w.c_str(), time, energy);
+    times.push_back(time);
+    energies.push_back(energy);
+  }
+  os += fmt("%-6s %16.4f %16.4f\n", "AVG", mean_of(times), mean_of(energies));
+  os += "\nPaper: avg 1.0026 (0.26%) execution time, 1.0203 (2.03%) energy;\n"
+        "       zero time overhead where no double store is needed.\n";
+  return os;
+}
+
+ExperimentSpec fig8_spec() {
+  ExperimentSpec s;
+  s.name = "fig8";
+  s.title = "Fig. 8: protocol overhead vs oracle-incoherent hybrid";
+  s.artifact = "Fig. 8";
+  s.scale = 0.5;
+  s.grids = {nas_machines_grid({"hybrid_coherent", "hybrid_oracle"})};
+  s.render = render_fig8;
+  return s;
+}
+
+// ----------------------------------------------------------- fig9/fig10 ----
+
+std::string render_fig9(const SweepView& v) {
+  std::string os = fmt("%-6s %8s %8s %8s %8s %9s\n", "Bench", "Work", "Synch", "Control",
+                       "Total", "Speedup");
+  std::vector<double> speedups;
+  for (const std::string& w : nas_names()) {
+    const RunReport& rh = v.report({{"workload", w}, {"machine", "hybrid_coherent"}});
+    const RunReport& rc = v.report({{"workload", w}, {"machine", "cache_based"}});
+    const PhaseSplit s = phase_split(rh, rc.cycles());
+    const double speedup = cycles_of(rc) / cycles_of(rh);
+    os += fmt("%-6s %8.3f %8.3f %8.3f %8.3f %9.2fx\n", w.c_str(), s.work, s.synch,
+              s.control, s.total(), speedup);
+    speedups.push_back(speedup);
+  }
+  os += fmt("%-6s %35s %8.2fx\n", "AVG", "", mean_of(speedups));
+  os += "\nPaper: CG 1.34x, EP ~1.0x, FT 1.30x, IS 1.55x, MG 1.64x, SP 1.66x; avg 1.38x\n";
+  return os;
+}
+
+ExperimentSpec fig9_spec() {
+  ExperimentSpec s;
+  s.name = "fig9";
+  s.title = "Fig. 9: execution time, hybrid (work/synch/control) vs cache-based (=1.0)";
+  s.artifact = "Fig. 9";
+  s.scale = 0.5;
+  s.grids = {nas_machines_grid({"hybrid_coherent", "cache_based"})};
+  s.render = render_fig9;
+  return s;
+}
+
+std::string render_fig10(const SweepView& v) {
+  std::string os = fmt("%-6s %8s %8s %8s %8s %8s %9s\n", "Bench", "CPU", "Caches", "LM",
+                       "Others", "Total", "Saving");
+  std::vector<double> savings;
+  for (const std::string& w : nas_names()) {
+    const RunReport& rh = v.report({{"workload", w}, {"machine", "hybrid_coherent"}});
+    const RunReport& rc = v.report({{"workload", w}, {"machine", "cache_based"}});
+    const EnergySplit s = energy_split(rh, rc.total_energy());
+    const double saving = 1.0 - s.total();
+    os += fmt("%-6s %8.3f %8.3f %8.3f %8.3f %8.3f %8.1f%%\n", w.c_str(), s.cpu, s.caches,
+              s.lm, s.others, s.total(), 100.0 * saving);
+    savings.push_back(saving);
+  }
+  os += fmt("%-6s %44s %7.1f%%\n", "AVG", "", 100.0 * mean_of(savings));
+  os += "\nPaper: savings between 12% and 41%; average 27%.  LM weight < 5%.\n";
+  return os;
+}
+
+ExperimentSpec fig10_spec() {
+  ExperimentSpec s = fig9_spec();  // identical points (shared via the caches)
+  s.name = "fig10";
+  s.title = "Fig. 10: energy, hybrid (CPU/Caches/LM/Others) vs cache-based (=1.0)";
+  s.artifact = "Fig. 10";
+  s.render = render_fig10;
+  return s;
+}
+
+// --------------------------------------------------------------- table1 ----
+
+std::string render_table1(const SweepView&) {
+  std::string os;
+  for (const char* name : {"hybrid_coherent", "hybrid_oracle", "cache_based"}) {
+    os += make_machine(name).describe();
+    os += "\n";
+  }
+  return os;
+}
+
+ExperimentSpec table1_spec() {
+  ExperimentSpec s;
+  s.name = "table1";
+  s.title = "Table 1: simulated machine configurations";
+  s.artifact = "Table 1";
+  s.render = render_table1;  // configuration dump: no simulation points
+  return s;
+}
+
+// --------------------------------------------------------------- table3 ----
+
+std::string render_table3(const SweepView& v) {
+  std::vector<Table3Row> rows;
+  for (const std::string& name : nas_names()) {
+    // Guarded-reference metadata lives on the workload, not the report.
+    const Workload w = make_workload(name, {.factor = 0.01});
+    const RunReport& rh = v.report({{"workload", name}, {"machine", "hybrid_coherent"}});
+    const RunReport& rc = v.report({{"workload", name}, {"machine", "cache_based"}});
+    rows.push_back(
+        make_table3_row(name, "Hybrid coherent", w.reported_guarded, w.reported_total, rh));
+    rows.push_back(make_table3_row(name, "Cache-based", 0, w.reported_total, rc));
+  }
+  std::string os = format_table3(rows);
+  os += "\nPaper shape: hybrid AMAT < cache AMAT and hybrid L1 hit% > cache L1 hit%\n"
+        "for every kernel; SP has zero directory accesses; cache rows have zero\n"
+        "LM/directory activity.\n";
+  return os;
+}
+
+ExperimentSpec table3_spec() {
+  ExperimentSpec s;
+  s.name = "table3";
+  s.title = "Table 3: memory-subsystem activity (hybrid coherent vs cache-based)";
+  s.artifact = "Table 3";
+  s.scale = 0.5;
+  s.grids = {nas_machines_grid({"hybrid_coherent", "cache_based"})};
+  s.render = render_table3;
+  return s;
+}
+
+// ------------------------------------------------------------ ablations ----
+
+std::string render_ablation_directory(const SweepView& v) {
+  std::string os;
+  for (const char* w : {"FT", "MG"}) {
+    os += fmt("%s:\n%8s %10s %10s %14s %10s\n", w, "Entries", "Mapped", "Demoted",
+              "Cycles", "vs 32");
+    const double base = cycles_of(v.report({{"workload", w}, {"dir_entries", "32"}}));
+    for (const char* entries : {"4", "8", "16", "32", "64"}) {
+      const PointResult* p = v.find({{"workload", w}, {"dir_entries", entries}});
+      if (p == nullptr || !p->ok)
+        throw std::runtime_error(std::string("missing point ") + w + "/" + entries);
+      const double cycles = cycles_of(p->report);
+      os += fmt("%8u %10u %10u %14.0f %10.3f\n",
+                static_cast<unsigned>(std::stoul(entries)), p->mapped_refs,
+                p->demoted_refs, cycles, cycles / base);
+    }
+  }
+  os += "\n32 entries capture all mapped references of every kernel; smaller\n"
+        "directories demote strided refs to the caches and lose the LM benefit.\n";
+  return os;
+}
+
+ExperimentSpec ablation_directory_spec() {
+  ExperimentSpec s;
+  s.name = "ablation_directory";
+  s.title = "Ablation: directory entry count (FT and MG, 30 strided refs each)";
+  s.artifact = "DESIGN.md §5.2";
+  s.scale = 0.5;
+  Grid g;
+  g.base = {{"machine", "hybrid_coherent"}};
+  g.axes = {{"workload", {"FT", "MG"}}, {"dir_entries", {"4", "8", "16", "32", "64"}}};
+  s.grids = {g};
+  s.render = render_ablation_directory;
+  return s;
+}
+
+std::string render_ablation_double_store(const SweepView& v) {
+  std::string os = fmt("%-6s %16s %18s %10s\n", "Bench", "Double store",
+                       "Always writeback", "Naive/DS");
+  for (const std::string& w : nas_names()) {
+    const double ds = cycles_of(v.report({{"workload", w}, {"readonly_opt", "on"}}));
+    const double naive = cycles_of(v.report({{"workload", w}, {"readonly_opt", "off"}}));
+    os += fmt("%-6s %16.0f %18.0f %10.3f\n", w.c_str(), ds, naive, naive / ds);
+  }
+  os += "\nThe double store never loses; always-write-back pays extra dma-puts\n"
+        "(\"incurring in high performance penalties\", §3.1).\n";
+  return os;
+}
+
+ExperimentSpec ablation_double_store_spec() {
+  ExperimentSpec s;
+  s.name = "ablation_double_store";
+  s.title = "Ablation: double store vs disabling the read-only write-back optimization";
+  s.artifact = "DESIGN.md §5.1";
+  s.scale = 0.5;
+  Grid g;
+  g.base = {{"machine", "hybrid_coherent"}};
+  g.axes = {{"workload", nas_names()}, {"readonly_opt", {"on", "off"}}};
+  s.grids = {g};
+  s.render = render_ablation_double_store;
+  return s;
+}
+
+std::string render_ablation_prefetch(const SweepView& v) {
+  std::string os =
+      fmt("%-6s %12s %12s %12s %12s\n", "Bench", "PF on", "PF off", "off/on", "Hybrid");
+  for (const std::string& w : nas_names()) {
+    const double on =
+        cycles_of(v.report({{"workload", w}, {"machine", "cache_based"}, {"prefetch", "on"}}));
+    const double off =
+        cycles_of(v.report({{"workload", w}, {"machine", "cache_based"}, {"prefetch", "off"}}));
+    const double hybrid =
+        cycles_of(v.report({{"workload", w}, {"machine", "hybrid_coherent"}}));
+    os += fmt("%-6s %12.0f %12.0f %12.3f %12.0f\n", w.c_str(), on, off, off / on, hybrid);
+  }
+  os += "\nPrefetching helps the cache-based machine most on few-stream kernels\n"
+        "(CG, EP); with many streams (FT, MG, SP) the history tables collide and\n"
+        "the benefit shrinks — the effect §4.3 reports.\n";
+  return os;
+}
+
+ExperimentSpec ablation_prefetch_spec() {
+  ExperimentSpec s;
+  s.name = "ablation_prefetch";
+  s.title = "Ablation: cache-based machine with/without prefetching vs hybrid";
+  s.artifact = "DESIGN.md §5.4";
+  s.scale = 0.5;
+  Grid cache;
+  cache.base = {{"machine", "cache_based"}};
+  cache.axes = {{"workload", nas_names()}, {"prefetch", {"on", "off"}}};
+  Grid hybrid;
+  hybrid.tag = "hybrid";
+  hybrid.base = {{"machine", "hybrid_coherent"}};
+  hybrid.axes = {{"workload", nas_names()}};
+  s.grids = {cache, hybrid};
+  s.render = render_ablation_prefetch;
+  return s;
+}
+
+}  // namespace
+
+void register_paper_experiments() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_experiment(table1_spec());
+    register_experiment(fig7_spec());
+    register_experiment(fig8_spec());
+    register_experiment(fig9_spec());
+    register_experiment(fig10_spec());
+    register_experiment(table3_spec());
+    register_experiment(ablation_directory_spec());
+    register_experiment(ablation_double_store_spec());
+    register_experiment(ablation_prefetch_spec());
+  });
+}
+
+}  // namespace hm::driver

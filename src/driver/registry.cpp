@@ -1,0 +1,110 @@
+#include "driver/registry.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace hm::driver {
+
+namespace {
+
+template <typename Factory>
+struct NamedRegistry {
+  std::mutex mu;
+  std::vector<std::pair<std::string, Factory>> entries;  // registration order
+
+  void put(std::string name, Factory make) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (auto& e : entries) {
+      if (e.first == name) {
+        e.second = std::move(make);
+        return;
+      }
+    }
+    entries.emplace_back(std::move(name), std::move(make));
+  }
+
+  // Copy out under the lock; the factory runs unlocked so a slow factory
+  // (or one that re-enters the registry) cannot stall sweep workers.
+  Factory get(std::string_view name, const char* what) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (const auto& e : entries)
+      if (e.first == name) return e.second;
+    throw std::out_of_range(std::string("unknown ") + what + ": " + std::string(name));
+  }
+
+  bool contains(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (const auto& e : entries)
+      if (e.first == name) return true;
+    return false;
+  }
+
+  std::vector<std::string> names() {
+    const std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.first);
+    return out;
+  }
+};
+
+NamedRegistry<MachineFactory>& machines() {
+  static NamedRegistry<MachineFactory>* r = [] {
+    auto* reg = new NamedRegistry<MachineFactory>();
+    reg->put("hybrid_coherent", &MachineConfig::hybrid_coherent);
+    reg->put("hybrid_oracle", &MachineConfig::hybrid_oracle);
+    reg->put("cache_based", &MachineConfig::cache_based);
+    return reg;
+  }();
+  return *r;
+}
+
+NamedRegistry<WorkloadFactory>& workloads() {
+  static NamedRegistry<WorkloadFactory>* r = [] {
+    auto* reg = new NamedRegistry<WorkloadFactory>();
+    reg->put("CG", &make_cg);
+    reg->put("EP", &make_ep);
+    reg->put("FT", &make_ft);
+    reg->put("IS", &make_is);
+    reg->put("MG", &make_mg);
+    reg->put("SP", &make_sp);
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_machine(std::string name, MachineFactory make) {
+  machines().put(std::move(name), std::move(make));
+}
+
+void register_workload(std::string name, WorkloadFactory make) {
+  workloads().put(std::move(name), std::move(make));
+}
+
+bool has_machine(std::string_view name) { return machines().contains(name); }
+bool has_workload(std::string_view name) { return workloads().contains(name); }
+
+MachineConfig make_machine(std::string_view name) {
+  return machines().get(name, "machine")();
+}
+
+Workload make_workload(std::string_view name, WorkloadScale scale) {
+  return workloads().get(name, "workload")(scale);
+}
+
+std::vector<std::string> machine_names() { return machines().names(); }
+std::vector<std::string> workload_names() { return workloads().names(); }
+
+const char* machine_name(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::HybridCoherent: return "hybrid_coherent";
+    case MachineKind::HybridOracle: return "hybrid_oracle";
+    case MachineKind::CacheBased: return "cache_based";
+  }
+  return "?";
+}
+
+}  // namespace hm::driver

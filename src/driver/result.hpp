@@ -1,0 +1,86 @@
+// Result layer for sweeps: per-point results, byte-stable JSON/CSV
+// emission, a tiny flat-JSON parser for rehydration, and the on-disk memo
+// cache keyed by (canonical point, engine version) so re-runs only
+// simulate changed points.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+namespace hm::driver {
+
+struct PointResult {
+  SweepPoint point;
+  bool ok = false;
+  bool from_cache = false;  ///< runtime-only; never serialized
+  std::string error;        ///< non-empty when !ok
+  // Compiled-kernel classification (the directory-size ablation's columns).
+  unsigned mapped_refs = 0;
+  unsigned demoted_refs = 0;
+  RunReport report;
+};
+
+/// Compact single-line JSON object for one point.  Field order is fixed and
+/// doubles print at round-trip precision, so identical results serialize to
+/// identical bytes — the representation the `--jobs N == --jobs 1` and
+/// memo-cache invariants are checked against.
+std::string point_json(const PointResult& r);
+
+/// Parse a flat (single-level) JSON object into name -> raw-token fields.
+/// Handles exactly what point_json emits; returns false on syntax errors.
+bool parse_flat_json(std::string_view text, FieldMap& out);
+
+/// Rebuild a PointResult from point_json output.  Returns nullopt for
+/// malformed text or a report serialized by a different kEngineVersion.
+std::optional<PointResult> point_from_json(std::string_view text);
+
+std::string csv_header();
+std::string csv_row(const PointResult& r);
+
+/// Mean of a series (0.0 when empty) — the AVG rows of Figs. 8-10.
+double mean_of(const std::vector<double>& xs);
+
+/// On-disk memo cache: one JSON file per (canonical point, engine version)
+/// hash.  lookup() verifies the stored canonical string, so a hash
+/// collision or stale/corrupt file degrades to a miss, never a wrong
+/// report.  store() writes via rename for atomicity against concurrent
+/// sweeps sharing a cache directory.
+class MemoCache {
+ public:
+  explicit MemoCache(std::string dir);  // "" => disabled
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  std::optional<PointResult> lookup(const SweepPoint& p) const;
+  void store(const PointResult& r) const;  // best-effort; never throws
+
+  static std::uint64_t key(const SweepPoint& p);
+
+ private:
+  std::string path_for(const SweepPoint& p) const;
+  std::string dir_;
+};
+
+/// In-memory cross-experiment result cache for one CLI session: Figs. 8, 9,
+/// 10 and Table 3 share their hybrid/cache runs, so a full-suite run
+/// simulates each distinct point once.
+class RunCache {
+ public:
+  std::optional<PointResult> lookup(const SweepPoint& p) const;
+  void store(const PointResult& r);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointResult> by_canonical_;
+};
+
+}  // namespace hm::driver

@@ -1,0 +1,227 @@
+#include "driver/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "compiler/codegen.hpp"
+#include "driver/registry.hpp"
+#include "driver/scheduler.hpp"
+#include "workloads/microbench.hpp"
+
+namespace hm::driver {
+
+namespace {
+
+MicroMode parse_micro_mode(const std::string& s) {
+  if (s == "Baseline") return MicroMode::Baseline;
+  if (s == "RD") return MicroMode::RD;
+  if (s == "WR") return MicroMode::WR;
+  if (s == "RDWR") return MicroMode::RDWR;
+  throw std::invalid_argument("unknown micro_mode: " + s);
+}
+
+CodegenVariant variant_for(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::HybridCoherent: return CodegenVariant::HybridProtocol;
+    case MachineKind::HybridOracle: return CodegenVariant::HybridOracle;
+    case MachineKind::CacheBased: return CodegenVariant::CacheOnly;
+  }
+  return CodegenVariant::CacheOnly;
+}
+
+}  // namespace
+
+PointResult run_point(const SweepPoint& p) {
+  PointResult out;
+  out.point = p;
+  if (p.knob("fail") == "1")
+    throw std::runtime_error("injected failure (fail=1 knob) at " + p.label);
+
+  MachineConfig cfg = make_machine(p.machine);
+  const unsigned dir_entries =
+      static_cast<unsigned>(std::stoul(p.knob("dir_entries", "32")));
+  cfg.directory.entries = dir_entries;
+  const bool prefetch = p.knob("prefetch", "on") != "off";
+  cfg.hierarchy.pf_l1.enabled = prefetch;
+  cfg.hierarchy.pf_l2.enabled = prefetch;
+  cfg.hierarchy.pf_l3.enabled = prefetch;
+
+  if (p.workload == "micro") {
+    MicrobenchConfig mc;
+    mc.mode = parse_micro_mode(p.knob("micro_mode", "Baseline"));
+    mc.guarded_pct = static_cast<unsigned>(std::stoul(p.knob("micro_pct", "0")));
+    // scale 0.5 == the paper microbenchmark's 100'000 iterations.
+    mc.iterations = static_cast<std::uint64_t>(std::llround(200'000.0 * p.scale));
+    System sys(std::move(cfg));
+    Microbenchmark mb(mc);
+    out.report = sys.run(mb);
+  } else if (!p.workload.empty()) {
+    const Workload w = make_workload(p.workload, {.factor = p.scale});
+    CodegenOptions co;
+    co.variant = variant_for(cfg.kind);
+    co.global_seed = p.seed;
+    co.disable_readonly_opt = p.knob("readonly_opt", "on") == "off";
+    // Compile against the hybrid machine's LM geometry on every machine
+    // kind (like the original benches) so address streams match across
+    // variants and runs stay directly comparable.
+    const MachineConfig geometry = MachineConfig::hybrid_coherent();
+    System sys(std::move(cfg));
+    CompiledKernel kernel =
+        compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
+    out.mapped_refs = kernel.classification().num_regular;
+    out.demoted_refs = kernel.classification().demoted_regular;
+    out.report = sys.run(kernel);
+  }
+  // An empty workload (config-only point) is legal and returns a zero report.
+  out.ok = true;
+  return out;
+}
+
+SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepPoint> points = expand(spec, opt.scale_override);
+
+  SweepOutcome out;
+  out.spec = &spec;
+  out.points.resize(points.size());
+
+  const MemoCache disk(opt.cache_dir);
+  std::vector<std::size_t> todo;
+  todo.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::optional<PointResult> hit;
+    if (opt.session_cache) hit = opt.session_cache->lookup(points[i]);
+    if (!hit && disk.enabled()) {
+      hit = disk.lookup(points[i]);
+      // Promote disk hits so later experiments sharing the point skip the
+      // file read/parse as well.
+      if (hit && opt.session_cache) opt.session_cache->store(*hit);
+    }
+    if (hit) {
+      out.points[i] = std::move(*hit);
+      ++out.cache_hits;
+    } else {
+      todo.push_back(i);
+    }
+  }
+
+  SweepScheduler scheduler(opt.jobs);
+  const std::vector<std::string> errors = scheduler.run(
+      todo.size(),
+      [&](std::size_t t) { out.points[todo[t]] = run_point(points[todo[t]]); },
+      opt.progress);
+
+  for (std::size_t t = 0; t < todo.size(); ++t) {
+    const std::size_t i = todo[t];
+    if (!errors[t].empty()) {
+      out.points[i] = PointResult{};
+      out.points[i].point = points[i];
+      out.points[i].error = errors[t];
+      continue;
+    }
+    if (disk.enabled()) disk.store(out.points[i]);
+    if (opt.session_cache) opt.session_cache->store(out.points[i]);
+  }
+  for (const PointResult& r : out.points)
+    if (!r.ok) ++out.failures;
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+const PointResult* SweepView::find(
+    const std::vector<std::pair<std::string, std::string>>& match) const {
+  for (const PointResult& pr : points) {
+    bool all = true;
+    for (const auto& [key, want] : match) {
+      std::string actual;
+      if (key == "machine") actual = pr.point.machine;
+      else if (key == "workload") actual = pr.point.workload;
+      else actual = pr.point.knob(key);
+      if (actual != want) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &pr;
+  }
+  return nullptr;
+}
+
+const RunReport& SweepView::report(
+    const std::vector<std::pair<std::string, std::string>>& match) const {
+  const PointResult* pr = find(match);
+  if (pr == nullptr) {
+    std::string what = "no point matches";
+    for (const auto& [k, v] : match) what += " " + k + "=" + v;
+    throw std::runtime_error(what);
+  }
+  if (!pr->ok) throw std::runtime_error("point " + pr->point.label + " failed: " + pr->error);
+  return pr->report;
+}
+
+std::string render(const SweepOutcome& out) {
+  std::string text = "\n==== " + out.spec->title + " ====\n";
+  const SweepView view{*out.spec, out.points};
+  try {
+    if (out.spec->render) {
+      text += out.spec->render(view);
+    } else {
+      // Generic listing for specs without a bespoke table.
+      char buf[256];
+      for (const PointResult& r : out.points) {
+        if (r.ok) {
+          std::snprintf(buf, sizeof(buf), "%-40s %14llu cycles %16.0f pJ\n",
+                        r.point.label.c_str(),
+                        static_cast<unsigned long long>(r.report.cycles()),
+                        r.report.total_energy());
+        } else {
+          std::snprintf(buf, sizeof(buf), "%-40s FAILED: %s\n", r.point.label.c_str(),
+                        r.error.c_str());
+        }
+        text += buf;
+      }
+    }
+  } catch (const std::exception& e) {
+    text += std::string("RENDER ERROR: ") + e.what() + "\n";
+    for (const PointResult& r : out.points)
+      if (!r.ok) text += "  failed point " + r.point.label + ": " + r.error + "\n";
+  }
+  return text;
+}
+
+std::string to_json(const SweepOutcome& out) {
+  std::string text = "{\n\"experiment\":\"" + out.spec->name + "\",\n\"engine_version\":" +
+                     std::to_string(kEngineVersion) + ",\n\"points\":[\n";
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    text += point_json(out.points[i]);
+    if (i + 1 < out.points.size()) text += ',';
+    text += '\n';
+  }
+  text += "]\n}\n";
+  return text;
+}
+
+std::string to_csv(const SweepOutcome& out) {
+  std::string text = csv_header();
+  for (const PointResult& r : out.points) text += csv_row(r);
+  return text;
+}
+
+int bench_main(const std::string& experiment) {
+  const ExperimentSpec* spec = find_experiment(experiment);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown experiment: %s\n", experiment.c_str());
+    return 2;
+  }
+  SweepOptions opt;
+  opt.jobs = 0;  // all cores; results are identical for any jobs value
+  const SweepOutcome out = run_sweep(*spec, opt);
+  std::fputs(render(out).c_str(), stdout);
+  return out.failures == 0 ? 0 : 1;
+}
+
+}  // namespace hm::driver

@@ -1,0 +1,78 @@
+// Sweep orchestration: expand a spec, resolve memo-cache hits, run the
+// remaining points on the work-stealing scheduler, and emit tables /
+// JSON / CSV.  The correctness anchor: for any experiment, the per-point
+// results (and therefore every emitted byte) are identical for any
+// `jobs` value and any cache state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/result.hpp"
+
+namespace hm::driver {
+
+/// Simulate one expanded point.  Throws for unknown machine/workload names
+/// and for the `fail=1` test knob; exceptions are isolated per job by the
+/// scheduler.  Knobs understood (absent => default_knobs() value):
+///   dir_entries   coherence-directory entry count (and compile max_buffers)
+///   prefetch      on/off: L1/L2/L3 stream prefetchers
+///   readonly_opt  on/off: off = always-write-back instead of double store
+///   micro_mode    Baseline/RD/WR/RDWR (workload "micro" only)
+///   micro_pct     % of guarded references (workload "micro" only)
+/// Unknown knobs are inert axis markers.  NAS kernels compile against the
+/// hybrid machine's LM geometry on every machine kind, exactly like the
+/// original bench binaries, so address streams match across variants.
+PointResult run_point(const SweepPoint& p);
+
+struct SweepOptions {
+  unsigned jobs = 0;                     ///< worker threads; 0 = all cores
+  std::string cache_dir;                 ///< on-disk memo cache; "" = off
+  RunCache* session_cache = nullptr;     ///< cross-experiment in-memory cache
+  std::optional<double> scale_override;  ///< quick-look rescale (not the paper tables)
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+struct SweepOutcome {
+  const ExperimentSpec* spec = nullptr;
+  std::vector<PointResult> points;  ///< slot i == SweepPoint::index i
+  std::size_t cache_hits = 0;
+  std::size_t failures = 0;
+  double wall_seconds = 0.0;  ///< diagnostics only; never serialized
+};
+
+SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt = {});
+
+/// Results + lookup helpers handed to ExperimentSpec::render.
+struct SweepView {
+  const ExperimentSpec& spec;
+  const std::vector<PointResult>& points;
+
+  /// First point matching every (key, value): "machine"/"workload" match
+  /// the fields, anything else the knob (with default_knobs() fallback).
+  const PointResult* find(
+      const std::vector<std::pair<std::string, std::string>>& match) const;
+
+  /// Like find(), but throws std::runtime_error when the point is missing
+  /// or failed — renderers degrade to an error listing instead of a table.
+  const RunReport& report(
+      const std::vector<std::pair<std::string, std::string>>& match) const;
+};
+
+/// "\n==== title ====\n" banner + the spec's table (or an error listing
+/// when points the renderer needs failed).
+std::string render(const SweepOutcome& out);
+std::string to_json(const SweepOutcome& out);
+std::string to_csv(const SweepOutcome& out);
+
+/// Thin main() for the paper bench binaries: run the named experiment on
+/// all cores (no cache — bench runs stay hermetic) and print the rendered
+/// table on stdout.  Returns a process exit code.
+int bench_main(const std::string& experiment);
+
+}  // namespace hm::driver

@@ -1,9 +1,155 @@
 #include "sim/report.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace hm {
+
+void json_kv_u64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", key, static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void json_kv_dbl(std::string& out, const char* key, double v) {
+  // %.17g round-trips every IEEE-754 double exactly through strtod.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g,", key, v);
+  out += buf;
+}
+
+void json_kv_bool(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += v ? "\":true," : "\":false,";
+}
+
+namespace {
+
+std::uint64_t f_u64(const FieldMap& f, const char* key) {
+  const auto it = f.find(key);
+  return it == f.end() ? 0 : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double f_dbl(const FieldMap& f, const char* key) {
+  const auto it = f.find(key);
+  return it == f.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool f_bool(const FieldMap& f, const char* key) {
+  const auto it = f.find(key);
+  return it != f.end() && it->second == "true";
+}
+
+}  // namespace
+
+void append_report_fields(std::string& out, const RunReport& r) {
+  json_kv_u64(out, "cycles", r.core.cycles);
+  json_kv_u64(out, "phase_work", r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Work)]);
+  json_kv_u64(out, "phase_control", r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Control)]);
+  json_kv_u64(out, "phase_synch", r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Synch)]);
+  json_kv_u64(out, "uops", r.core.uops);
+  json_kv_u64(out, "loads", r.core.loads);
+  json_kv_u64(out, "stores", r.core.stores);
+  json_kv_u64(out, "guarded_loads", r.core.guarded_loads);
+  json_kv_u64(out, "guarded_stores", r.core.guarded_stores);
+  json_kv_u64(out, "value_mismatches", r.core.value_mismatches);
+  json_kv_u64(out, "load_lat_count", r.core.load_latency.count());
+  json_kv_dbl(out, "load_lat_sum", r.core.load_latency.sum());
+  json_kv_dbl(out, "load_lat_min", r.core.load_latency.min());
+  json_kv_dbl(out, "load_lat_max", r.core.load_latency.max());
+  json_kv_dbl(out, "amat", r.amat);
+  json_kv_dbl(out, "l1_hit_ratio", r.l1_hit_ratio);
+  json_kv_u64(out, "l1_accesses", r.l1_accesses);
+  json_kv_u64(out, "l2_accesses", r.l2_accesses);
+  json_kv_u64(out, "l3_accesses", r.l3_accesses);
+  json_kv_u64(out, "lm_accesses", r.lm_accesses);
+  json_kv_u64(out, "directory_accesses", r.directory_accesses);
+  json_kv_dbl(out, "energy_cpu", r.energy.cpu);
+  json_kv_dbl(out, "energy_caches", r.energy.caches);
+  json_kv_dbl(out, "energy_lm", r.energy.lm);
+  json_kv_dbl(out, "energy_others", r.energy.others);
+  json_kv_u64(out, "act_l1", r.activity.l1_activity);
+  json_kv_u64(out, "act_l2", r.activity.l2_activity);
+  json_kv_u64(out, "act_l3", r.activity.l3_activity);
+  json_kv_u64(out, "act_mem", r.activity.mem_accesses);
+  json_kv_u64(out, "act_lm", r.activity.lm_accesses);
+  json_kv_u64(out, "act_dir_lookups", r.activity.dir_lookups);
+  json_kv_u64(out, "act_dir_updates", r.activity.dir_updates);
+  json_kv_u64(out, "act_fetch_groups", r.activity.fetch_groups);
+  json_kv_u64(out, "act_uops", r.activity.uops);
+  json_kv_u64(out, "act_regfile_reads", r.activity.regfile_reads);
+  json_kv_u64(out, "act_regfile_writes", r.activity.regfile_writes);
+  json_kv_u64(out, "act_int_ops", r.activity.int_ops);
+  json_kv_u64(out, "act_fp_ops", r.activity.fp_ops);
+  json_kv_u64(out, "act_branches", r.activity.branches);
+  json_kv_u64(out, "act_mem_uops", r.activity.mem_uops);
+  json_kv_u64(out, "act_replay_uops", r.activity.replay_uops);
+  json_kv_u64(out, "act_flushed_slots", r.activity.flushed_slots);
+  json_kv_u64(out, "act_prefetch_trainings", r.activity.prefetch_trainings);
+  json_kv_u64(out, "act_prefetch_issues", r.activity.prefetch_issues);
+  json_kv_u64(out, "act_dma_lines", r.activity.dma_lines);
+  json_kv_u64(out, "act_bus_transfers", r.activity.bus_transfers);
+  json_kv_u64(out, "act_cycles", r.activity.cycles);
+  json_kv_u64(out, "act_l1_size", r.activity.l1_size);
+  json_kv_bool(out, "act_has_lm", r.activity.has_lm);
+  json_kv_bool(out, "act_has_directory", r.activity.has_directory);
+  out.pop_back();  // drop the trailing comma
+}
+
+RunReport report_from_fields(const FieldMap& f) {
+  RunReport r;
+  r.core.cycles = f_u64(f, "cycles");
+  r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Work)] = f_u64(f, "phase_work");
+  r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Control)] = f_u64(f, "phase_control");
+  r.core.phase_cycles[static_cast<unsigned>(ExecPhase::Synch)] = f_u64(f, "phase_synch");
+  r.core.uops = f_u64(f, "uops");
+  r.core.loads = f_u64(f, "loads");
+  r.core.stores = f_u64(f, "stores");
+  r.core.guarded_loads = f_u64(f, "guarded_loads");
+  r.core.guarded_stores = f_u64(f, "guarded_stores");
+  r.core.value_mismatches = f_u64(f, "value_mismatches");
+  r.core.load_latency.restore(f_u64(f, "load_lat_count"), f_dbl(f, "load_lat_sum"),
+                              f_dbl(f, "load_lat_min"), f_dbl(f, "load_lat_max"));
+  r.amat = f_dbl(f, "amat");
+  r.l1_hit_ratio = f_dbl(f, "l1_hit_ratio");
+  r.l1_accesses = f_u64(f, "l1_accesses");
+  r.l2_accesses = f_u64(f, "l2_accesses");
+  r.l3_accesses = f_u64(f, "l3_accesses");
+  r.lm_accesses = f_u64(f, "lm_accesses");
+  r.directory_accesses = f_u64(f, "directory_accesses");
+  r.energy.cpu = f_dbl(f, "energy_cpu");
+  r.energy.caches = f_dbl(f, "energy_caches");
+  r.energy.lm = f_dbl(f, "energy_lm");
+  r.energy.others = f_dbl(f, "energy_others");
+  r.activity.l1_activity = f_u64(f, "act_l1");
+  r.activity.l2_activity = f_u64(f, "act_l2");
+  r.activity.l3_activity = f_u64(f, "act_l3");
+  r.activity.mem_accesses = f_u64(f, "act_mem");
+  r.activity.lm_accesses = f_u64(f, "act_lm");
+  r.activity.dir_lookups = f_u64(f, "act_dir_lookups");
+  r.activity.dir_updates = f_u64(f, "act_dir_updates");
+  r.activity.fetch_groups = f_u64(f, "act_fetch_groups");
+  r.activity.uops = f_u64(f, "act_uops");
+  r.activity.regfile_reads = f_u64(f, "act_regfile_reads");
+  r.activity.regfile_writes = f_u64(f, "act_regfile_writes");
+  r.activity.int_ops = f_u64(f, "act_int_ops");
+  r.activity.fp_ops = f_u64(f, "act_fp_ops");
+  r.activity.branches = f_u64(f, "act_branches");
+  r.activity.mem_uops = f_u64(f, "act_mem_uops");
+  r.activity.replay_uops = f_u64(f, "act_replay_uops");
+  r.activity.flushed_slots = f_u64(f, "act_flushed_slots");
+  r.activity.prefetch_trainings = f_u64(f, "act_prefetch_trainings");
+  r.activity.prefetch_issues = f_u64(f, "act_prefetch_issues");
+  r.activity.dma_lines = f_u64(f, "act_dma_lines");
+  r.activity.bus_transfers = f_u64(f, "act_bus_transfers");
+  r.activity.cycles = f_u64(f, "act_cycles");
+  r.activity.l1_size = f_u64(f, "act_l1_size");
+  r.activity.has_lm = f_bool(f, "act_has_lm");
+  r.activity.has_directory = f_bool(f, "act_has_directory");
+  return r;
+}
 
 Table3Row make_table3_row(const std::string& benchmark, const std::string& mode,
                           unsigned guarded, unsigned total_refs, const RunReport& report) {

@@ -1,13 +1,45 @@
 // Formatting helpers that regenerate the paper's tables and figure series
-// from RunReports.
+// from RunReports, plus the stable field-level serialization the sweep
+// driver's JSON/CSV emission and memo cache are built on.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/system.hpp"
 
 namespace hm {
+
+/// Version stamp for serialized reports and the sweep memo cache.  Bump it
+/// whenever an engine change (timing model, energy model, workload
+/// synthesis) alters any simulated metric, so stale cached reports are
+/// never mistaken for current ones.
+inline constexpr std::uint64_t kEngineVersion = 1;
+
+/// Parsed flat JSON object: field name -> raw value token (strings already
+/// unescaped).  Shared between sim/report and the driver layer.
+using FieldMap = std::map<std::string, std::string, std::less<>>;
+
+/// Byte-stable JSON `"key":value,` emitters (trailing comma included).
+/// Doubles print as %.17g, which round-trips every IEEE-754 value exactly
+/// through strtod — the representation the memo cache and the
+/// `--jobs N == --jobs 1` invariant compare.  The sweep driver's point
+/// serialization shares these so the two layers can never drift.
+void json_kv_u64(std::string& out, const char* key, std::uint64_t v);
+void json_kv_dbl(std::string& out, const char* key, double v);
+void json_kv_bool(std::string& out, const char* key, bool v);
+
+/// Append every RunReport field as `"key":value` pairs (comma-separated, no
+/// surrounding braces) in a fixed order, doubles printed at full round-trip
+/// precision — byte-stable for identical reports across runs and thread
+/// counts.
+void append_report_fields(std::string& out, const RunReport& report);
+
+/// Inverse of append_report_fields.  Fields missing from @p fields default
+/// to zero, so reports serialized by older engine versions parse (the memo
+/// cache rejects them by version before it ever gets here).
+RunReport report_from_fields(const FieldMap& fields);
 
 /// One row of Table 3 ("Activity in the memory subsystem").
 struct Table3Row {

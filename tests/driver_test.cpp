@@ -1,0 +1,340 @@
+// Driver subsystem tests: spec expansion and seed derivation, the
+// work-stealing scheduler (coverage + failure isolation), the parallel ==
+// serial bit-identity invariant, JSON round-tripping, and the memo cache.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/registry.hpp"
+#include "driver/result.hpp"
+#include "driver/scheduler.hpp"
+#include "driver/sweep.hpp"
+
+namespace {
+
+using namespace hm;
+using namespace hm::driver;
+
+/// A small real sweep (two NAS kernels x two machines at tiny scale) used
+/// wherever the tests need actual simulations.
+ExperimentSpec tiny_spec(double scale = 0.05) {
+  ExperimentSpec s;
+  s.name = "test_tiny";
+  s.title = "tiny driver-test sweep";
+  s.scale = scale;
+  Grid g;
+  g.axes = {{"workload", {"CG", "EP"}}, {"machine", {"hybrid_coherent", "cache_based"}}};
+  s.grids = {g};
+  return s;
+}
+
+std::string sweep_json(const ExperimentSpec& spec, const SweepOptions& opt) {
+  return to_json(run_sweep(spec, opt));
+}
+
+// ------------------------------------------------------------ expansion ----
+
+TEST(Experiment, ExpandsGridsInStableOrder) {
+  const ExperimentSpec spec = tiny_spec();
+  const std::vector<SweepPoint> a = expand(spec);
+  const std::vector<SweepPoint> b = expand(spec);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    EXPECT_EQ(a[i].canonical(), b[i].canonical());
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+  // First axis outermost: CG/CG then EP/EP.
+  EXPECT_EQ(a[0].workload, "CG");
+  EXPECT_EQ(a[1].workload, "CG");
+  EXPECT_EQ(a[2].workload, "EP");
+  EXPECT_EQ(a[0].machine, "hybrid_coherent");
+  EXPECT_EQ(a[1].machine, "cache_based");
+}
+
+TEST(Experiment, PaperSeedIsFixedAndCanonicalIgnoresExperimentName) {
+  ExperimentSpec s1 = tiny_spec();
+  ExperimentSpec s2 = tiny_spec();
+  s2.name = "test_tiny_other";
+  const auto p1 = expand(s1);
+  const auto p2 = expand(s2);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].seed, kPaperSeed);
+    // Same physical point from two experiments => same memo-cache identity.
+    EXPECT_EQ(p1[i].canonical(), p2[i].canonical());
+    EXPECT_EQ(MemoCache::key(p1[i]), MemoCache::key(p2[i]));
+  }
+}
+
+TEST(Experiment, PerPointSeedsAreDistinctAndScheduleIndependent) {
+  ExperimentSpec s = tiny_spec();
+  s.seed_policy = SeedPolicy::PerPoint;
+  const auto pts = expand(s);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].seed, derive_seed("test_tiny", i));
+    for (std::size_t j = i + 1; j < pts.size(); ++j) EXPECT_NE(pts[i].seed, pts[j].seed);
+  }
+}
+
+TEST(Experiment, DefaultKnobValuesAreElided) {
+  ExperimentSpec s = tiny_spec();
+  s.grids[0].axes.push_back({"dir_entries", {"16", "32"}});
+  const auto pts = expand(s);
+  ASSERT_EQ(pts.size(), 8u);
+  for (const SweepPoint& p : pts) {
+    const bool is_default = p.knobs.find("dir_entries") == p.knobs.end();
+    if (is_default) {
+      EXPECT_EQ(p.knob("dir_entries"), "32");  // default still readable
+    } else {
+      EXPECT_EQ(p.knobs.at("dir_entries"), "16");
+    }
+  }
+  // The dir_entries=32 point is physically the knob-free point.
+  const auto plain = expand(tiny_spec());
+  EXPECT_EQ(pts[1].canonical(), plain[0].canonical());  // 32-entry CG/hybrid
+}
+
+// ------------------------------------------------------------ scheduler ----
+
+TEST(Scheduler, RunsEveryJobExactlyOnce) {
+  const std::size_t n = 257;
+  std::vector<std::atomic<int>> hits(n);
+  SweepScheduler sched(8);
+  const std::vector<std::string> errors =
+      sched.run(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  ASSERT_EQ(errors.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+    EXPECT_TRUE(errors[i].empty()) << errors[i];
+  }
+}
+
+TEST(Scheduler, IsolatesThrowingJobs) {
+  const std::size_t n = 64;
+  std::atomic<int> completed{0};
+  SweepScheduler sched(4);
+  const std::vector<std::string> errors = sched.run(n, [&](std::size_t i) {
+    if (i % 3 == 0) throw std::runtime_error("boom " + std::to_string(i));
+    completed.fetch_add(1);
+  });
+  int failed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(errors[i], "boom " + std::to_string(i));
+      ++failed;
+    } else {
+      EXPECT_TRUE(errors[i].empty());
+    }
+  }
+  EXPECT_EQ(completed.load() + failed, static_cast<int>(n));
+}
+
+TEST(Scheduler, StealsFromLoadedWorkers) {
+  // One slow job pinned at index 0 (worker 0's queue front); the rest are
+  // instant.  With 4 workers the others must steal worker 0's remaining
+  // round-robin share or the run would serialize behind the sleep.
+  const std::size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  SweepScheduler sched(4);
+  const auto errors = sched.run(n, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_TRUE(errors[0].empty());
+}
+
+// ---------------------------------------------------- sweep determinism ----
+
+TEST(Sweep, ParallelRunIsByteIdenticalToSerial) {
+  const ExperimentSpec spec = tiny_spec();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  EXPECT_EQ(sweep_json(spec, serial), sweep_json(spec, parallel));
+}
+
+TEST(Sweep, RegisteredPaperExperimentMatchesSerialAtSmallScale) {
+  const ExperimentSpec* fig8 = find_experiment("fig8");
+  ASSERT_NE(fig8, nullptr);
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.scale_override = 0.02;
+  SweepOptions parallel;
+  parallel.jobs = 3;
+  parallel.scale_override = 0.02;
+  const std::string a = sweep_json(*fig8, serial);
+  const std::string b = sweep_json(*fig8, parallel);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Sweep, SeedReachesTheKernel) {
+  // Same point, different seed => different irregular address streams =>
+  // different cycle counts (CG has a hot irregular reference).
+  SweepPoint p;
+  p.label = "seed_probe";
+  p.machine = "hybrid_coherent";
+  p.workload = "CG";
+  p.scale = 0.05;
+  p.seed = 1;
+  const PointResult a = run_point(p);
+  p.seed = 2;
+  const PointResult b = run_point(p);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_NE(a.report.cycles(), b.report.cycles());
+}
+
+TEST(Sweep, FailingPointIsIsolatedAndReported) {
+  ExperimentSpec s = tiny_spec();
+  s.grids[0].axes = {{"workload", {"CG"}},
+                     {"machine", {"hybrid_coherent"}},
+                     {"fail", {"0", "1"}}};
+  SweepOptions opt;
+  opt.jobs = 2;
+  const SweepOutcome out = run_sweep(s, opt);
+  ASSERT_EQ(out.points.size(), 2u);
+  EXPECT_EQ(out.failures, 1u);
+  EXPECT_TRUE(out.points[0].ok);
+  EXPECT_FALSE(out.points[1].ok);
+  EXPECT_NE(out.points[1].error.find("injected failure"), std::string::npos);
+  // Rendering (generic renderer) must not throw on failed points.
+  EXPECT_NE(render(out).find("FAILED"), std::string::npos);
+  EXPECT_NE(to_json(out).find("\"ok\":false"), std::string::npos);
+}
+
+// ------------------------------------------------------- serialization ----
+
+TEST(Result, PointJsonRoundTripsExactly) {
+  SweepPoint p;
+  p.experiment = "test_tiny";
+  p.index = 3;
+  p.label = "test_tiny/CG/hybrid_coherent";
+  p.machine = "hybrid_coherent";
+  p.workload = "CG";
+  p.scale = 0.05;
+  p.knobs["dir_entries"] = "16";
+  const PointResult run = run_point(p);
+  ASSERT_TRUE(run.ok);
+  const std::string json = point_json(run);
+  const std::optional<PointResult> back = point_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(point_json(*back), json);
+  EXPECT_EQ(back->point.canonical(), p.canonical());
+  EXPECT_EQ(back->report.cycles(), run.report.cycles());
+  EXPECT_EQ(back->report.total_energy(), run.report.total_energy());
+  EXPECT_EQ(back->report.core.load_latency.mean(), run.report.core.load_latency.mean());
+}
+
+TEST(Result, ParserRejectsGarbage) {
+  FieldMap f;
+  EXPECT_FALSE(parse_flat_json("", f));
+  EXPECT_FALSE(parse_flat_json("{\"a\":}", f));
+  EXPECT_FALSE(parse_flat_json("[1,2]", f));
+  EXPECT_FALSE(point_from_json("{\"engine_version\":999999}").has_value());
+  FieldMap ok;
+  EXPECT_TRUE(parse_flat_json("{\"a\":1,\"b\":\"x\\\"y\"}", ok));
+  EXPECT_EQ(ok["a"], "1");
+  EXPECT_EQ(ok["b"], "x\"y");
+}
+
+// ----------------------------------------------------------- memo cache ----
+
+class MemoCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Process-unique (pid) + fixture-unique (address bits): concurrent test
+    // processes and in-process fixtures can never share (and so clobber)
+    // each other's cache directories.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("hm_driver_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this) & 0xFFFF)))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(MemoCacheTest, SecondRunHitsAndIsByteIdentical) {
+  const ExperimentSpec spec = tiny_spec();
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.cache_dir = dir_;
+  const SweepOutcome first = run_sweep(spec, opt);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.failures, 0u);
+
+  const SweepOutcome second = run_sweep(spec, opt);
+  EXPECT_EQ(second.cache_hits, second.points.size());
+  for (const PointResult& r : second.points) EXPECT_TRUE(r.from_cache);
+  EXPECT_EQ(to_json(first), to_json(second));
+
+  // And a third run with a different thread count is still identical.
+  opt.jobs = 4;
+  EXPECT_EQ(to_json(first), to_json(run_sweep(spec, opt)));
+}
+
+TEST_F(MemoCacheTest, CorruptEntryDegradesToMiss) {
+  const ExperimentSpec spec = tiny_spec();
+  SweepOptions opt;
+  opt.jobs = 1;
+  opt.cache_dir = dir_;
+  const SweepOutcome first = run_sweep(spec, opt);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "{corrupt";
+  }
+  const SweepOutcome second = run_sweep(spec, opt);
+  EXPECT_EQ(second.cache_hits, 0u);
+  EXPECT_EQ(to_json(first), to_json(second));
+}
+
+TEST_F(MemoCacheTest, SessionCacheSharesPointsAcrossExperiments) {
+  ExperimentSpec a = tiny_spec();
+  ExperimentSpec b = tiny_spec();
+  b.name = "test_tiny_other";  // same physical points, different experiment
+  RunCache session;
+  SweepOptions opt;
+  opt.jobs = 2;
+  opt.session_cache = &session;
+  const SweepOutcome first = run_sweep(a, opt);
+  EXPECT_EQ(first.cache_hits, 0u);
+  const SweepOutcome second = run_sweep(b, opt);
+  EXPECT_EQ(second.cache_hits, second.points.size());
+  for (std::size_t i = 0; i < second.points.size(); ++i) {
+    EXPECT_EQ(second.points[i].point.experiment, "test_tiny_other");
+    EXPECT_EQ(second.points[i].report.cycles(), first.points[i].report.cycles());
+  }
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, BuiltinsAndPaperExperimentsAreRegistered) {
+  EXPECT_TRUE(has_machine("hybrid_coherent"));
+  EXPECT_TRUE(has_machine("hybrid_oracle"));
+  EXPECT_TRUE(has_machine("cache_based"));
+  EXPECT_FALSE(has_machine("nonexistent"));
+  EXPECT_EQ(workload_names().size(), 6u);
+  EXPECT_THROW(make_machine("nonexistent"), std::out_of_range);
+  EXPECT_THROW(make_workload("nonexistent", {}), std::out_of_range);
+
+  ASSERT_GE(all_experiments().size(), 9u);
+  for (const char* name :
+       {"table1", "fig7", "fig8", "fig9", "fig10", "table3", "ablation_directory",
+        "ablation_double_store", "ablation_prefetch"})
+    EXPECT_NE(find_experiment(name), nullptr) << name;
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+}
+
+}  // namespace

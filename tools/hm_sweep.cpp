@@ -1,0 +1,228 @@
+// hm_sweep — unified driver for the paper-reproduction experiment suite.
+//
+//   hm_sweep list                         what can run, and how many points
+//   hm_sweep [run] [flags]                run experiments (default: all)
+//     --filter SUBSTR     only experiments whose name contains SUBSTR
+//     --jobs N|auto       worker threads (default auto = all cores)
+//     --format table|json|csv             stdout format (default table)
+//     --out DIR           also write DIR/<name>.json and DIR/<name>.csv
+//     --cache-dir DIR     on-disk memo cache (default .hm_sweep_cache)
+//     --no-cache          disable the on-disk memo cache
+//     --scale F           override every spec's workload scale (quick looks;
+//                         the paper tables use each spec's own scale)
+//     --quiet             no progress on stderr
+//
+// Exit status: 0 all points simulated, 1 any point failed, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/result.hpp"
+#include "driver/scheduler.hpp"
+#include "driver/sweep.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace hm::driver;
+
+struct CliOptions {
+  bool list = false;
+  std::string filter;
+  unsigned jobs = 0;  // auto
+  std::string format = "table";
+  std::string out_dir;
+  std::string cache_dir = ".hm_sweep_cache";
+  std::optional<double> scale;
+  bool quiet = false;
+};
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [list|run] [--filter SUBSTR] [--jobs N|auto]\n"
+               "       [--format table|json|csv] [--out DIR] [--cache-dir DIR]\n"
+               "       [--no-cache] [--scale F] [--quiet]\n",
+               argv0);
+  return code;
+}
+
+bool progress_to_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(2) != 0;
+#else
+  return false;
+#endif
+}
+
+/// Strict numeric parsing: the whole token must convert, and the value must
+/// be positive — `--jobs two` or `--scale abc` are usage errors, not silent
+/// zeros.
+bool parse_positive_unsigned(const char* s, unsigned& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-' || v == 0 || v > 1u << 20) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+bool parse_positive_double(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0.0)) return false;
+  out = v;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opt) {
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "list") {
+      opt.list = true;
+    } else if (arg == "run") {
+      // default
+    } else if (arg == "--filter") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.filter = v;
+    } else if (arg == "--jobs") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (std::strcmp(v, "auto") == 0) {
+        opt.jobs = 0;
+      } else if (!parse_positive_unsigned(v, opt.jobs)) {
+        std::fprintf(stderr, "--jobs expects a positive integer or 'auto', got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--format") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.format = v;
+      if (opt.format != "table" && opt.format != "json" && opt.format != "csv") return false;
+    } else if (arg == "--out") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.out_dir = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.cache_dir = v;
+    } else if (arg == "--no-cache") {
+      opt.cache_dir.clear();
+    } else if (arg == "--scale") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      double scale = 0.0;
+      if (!parse_positive_double(v, scale)) {
+        std::fprintf(stderr, "--scale expects a positive number, got: %s\n", v);
+        return false;
+      }
+      opt.scale = scale;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0], 2);
+
+  std::vector<const ExperimentSpec*> selected;
+  for (const ExperimentSpec* spec : all_experiments())
+    if (opt.filter.empty() || spec->name.find(opt.filter) != std::string::npos)
+      selected.push_back(spec);
+
+  if (opt.list) {
+    std::printf("%-24s %7s  %-12s %s\n", "experiment", "points", "artifact", "title");
+    for (const ExperimentSpec* spec : selected)
+      std::printf("%-24s %7zu  %-12s %s\n", spec->name.c_str(), expand(*spec).size(),
+                  spec->artifact.c_str(), spec->title.c_str());
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no experiment matches --filter %s\n", opt.filter.c_str());
+    return 2;
+  }
+
+  if (!opt.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --out directory %s\n", opt.out_dir.c_str());
+      return 2;
+    }
+  }
+
+  const unsigned jobs = opt.jobs == 0 ? SweepScheduler::auto_jobs() : opt.jobs;
+  const bool tty = !opt.quiet && progress_to_tty();
+  RunCache session;
+  std::size_t total_failures = 0;
+
+  for (const ExperimentSpec* spec : selected) {
+    SweepOptions sweep_opt;
+    sweep_opt.jobs = jobs;
+    sweep_opt.cache_dir = opt.cache_dir;
+    sweep_opt.session_cache = &session;
+    sweep_opt.scale_override = opt.scale;
+    if (tty)
+      sweep_opt.progress = [&](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r%s [%zu/%zu]", spec->name.c_str(), done, total);
+      };
+
+    const SweepOutcome out = run_sweep(*spec, sweep_opt);
+    if (tty) std::fprintf(stderr, "\r\033[K");
+
+    total_failures += out.failures;
+    // Serialize each format at most once, shared between stdout and --out.
+    const std::string json =
+        opt.format == "json" || !opt.out_dir.empty() ? to_json(out) : std::string();
+    const std::string csv =
+        opt.format == "csv" || !opt.out_dir.empty() ? to_csv(out) : std::string();
+    if (opt.format == "json") {
+      std::fputs(json.c_str(), stdout);
+    } else if (opt.format == "csv") {
+      std::fputs(csv.c_str(), stdout);
+    } else {
+      std::fputs(render(out).c_str(), stdout);
+    }
+    if (!opt.out_dir.empty()) {
+      const std::filesystem::path dir(opt.out_dir);
+      if (!write_file(dir / (spec->name + ".json"), json) ||
+          !write_file(dir / (spec->name + ".csv"), csv))
+        std::fprintf(stderr, "warning: could not write outputs for %s\n", spec->name.c_str());
+    }
+    if (!opt.quiet)
+      std::fprintf(stderr, "%s: %zu points, %zu cached, %zu failed, %.2fs (jobs=%u)\n",
+                   spec->name.c_str(), out.points.size(), out.cache_hits, out.failures,
+                   out.wall_seconds, jobs);
+  }
+  return total_failures == 0 ? 0 : 1;
+}
