@@ -63,6 +63,7 @@ const std::map<std::string, std::string>& default_knobs() {
   // Keep in sync with run_point (sweep.cpp): each entry is the value the
   // runner assumes when the knob is absent.
   static const std::map<std::string, std::string> defaults = {
+      {"cores", "1"},          // tile count (single-core == the paper tables)
       {"dir_entries", "32"},   // DirectoryConfig::entries default (Table 1)
       {"prefetch", "on"},      // PrefetcherConfig::enabled default
       {"readonly_opt", "on"},  // the double store, not always-write-back

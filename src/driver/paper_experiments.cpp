@@ -1,9 +1,10 @@
-// The nine paper experiments (Figs. 7-10, Tables 1/3, the DESIGN.md
-// ablations) as declarative specs.  Each renderer regenerates exactly the
+// The registered experiments: the nine paper artifacts (Figs. 7-10,
+// Tables 1/3, the DESIGN.md ablations) plus the multicore `scaling` suite,
+// all as declarative specs.  Each paper renderer regenerates exactly the
 // table its bench binary printed before the driver existed — that
-// byte-identity is the refactor's correctness anchor — while the points
-// themselves are shared: Figs. 8/9/10 and Table 3 reuse the same hybrid
-// and cache-based runs through the memo/session caches.
+// byte-identity is the refactor's correctness anchor (tests/golden_test) —
+// while the points themselves are shared: Figs. 8/9/10 and Table 3 reuse
+// the same hybrid and cache-based runs through the memo/session caches.
 //
 // All specs use SeedPolicy::PaperFixed: the published tables pin the
 // historical global seed (kPaperSeed), which also makes physically
@@ -335,6 +336,55 @@ ExperimentSpec ablation_prefetch_spec() {
   return s;
 }
 
+// -------------------------------------------------------------- scaling ----
+
+const std::vector<std::string>& core_counts() {
+  static const std::vector<std::string> counts = {"1", "2", "4", "8", "16"};
+  return counts;
+}
+
+std::string render_scaling(const SweepView& v) {
+  std::string os = fmt("%-6s %-16s", "Bench", "Machine");
+  for (const std::string& c : core_counts()) os += fmt(" %12s", (c + " cores").c_str());
+  os += fmt(" %9s\n", "Speedup");
+  for (const std::string& w : nas_names()) {
+    for (const char* m : {"hybrid_coherent", "cache_based"}) {
+      os += fmt("%-6s %-16s", w.c_str(), m);
+      double first = 0.0;
+      double last = 0.0;
+      for (const std::string& c : core_counts()) {
+        // Aggregate cycles on a multi-tile run are the barrier time — the
+        // max over the tiles (RunReport::max_tile_cycles).
+        const double cyc =
+            cycles_of(v.report({{"workload", w}, {"machine", m}, {"cores", c}}));
+        if (first == 0.0) first = cyc;
+        last = cyc;
+        os += fmt(" %12.0f", cyc);
+      }
+      os += fmt(" %8.2fx\n", last > 0.0 ? first / last : 0.0);
+    }
+  }
+  os += "\nMax-tile cycles of the SPMD-partitioned kernels (strong scaling) on the\n"
+        "tile-based machine: private L1/LM/DMAC/directory per tile, shared L2/L3,\n"
+        "DRAM and DMA bus with per-port arbitration.  Speedup = 1 core / 16 cores.\n";
+  return os;
+}
+
+ExperimentSpec scaling_spec() {
+  ExperimentSpec s;
+  s.name = "scaling";
+  s.title = "Scaling: core-count scaling of the coherent hybrid vs cache-based machine";
+  s.artifact = "multicore";
+  s.scale = 0.25;
+  Grid g;
+  g.axes = {{"workload", nas_names()},
+            {"machine", {"hybrid_coherent", "cache_based"}},
+            {"cores", core_counts()}};
+  s.grids = {g};
+  s.render = render_scaling;
+  return s;
+}
+
 }  // namespace
 
 void register_paper_experiments() {
@@ -349,6 +399,7 @@ void register_paper_experiments() {
     register_experiment(ablation_directory_spec());
     register_experiment(ablation_double_store_spec());
     register_experiment(ablation_prefetch_spec());
+    register_experiment(scaling_spec());
   });
 }
 

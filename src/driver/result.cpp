@@ -24,21 +24,6 @@ unsigned long process_id() {
 #endif
 }
 
-void append_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-}
-
 // Numeric/bool emitters come from sim/report.hpp (json_kv_*), shared with
 // append_report_fields so the point and report layers can never drift in
 // formatting; only string emission is driver-specific.
@@ -46,7 +31,7 @@ void kv_str(std::string& out, const char* key, std::string_view v) {
   out += '"';
   out += key;
   out += "\":\"";
-  append_escaped(out, v);
+  append_json_escaped(out, v);
   out += "\",";
 }
 
@@ -66,6 +51,21 @@ std::map<std::string, std::string> parse_knobs(std::string_view s) {
 }
 
 }  // namespace
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
 
 std::string point_json(const PointResult& r) {
   std::string out = "{";

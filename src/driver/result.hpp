@@ -29,6 +29,12 @@ struct PointResult {
   RunReport report;
 };
 
+/// Append @p s JSON-string-escaped (quotes, backslashes, \u00XX control
+/// characters) to @p out.  The single escaper shared by the point/report
+/// serialization and the hm_sweep CLI's `list --format json`, so the two
+/// layers can never drift in escaping.
+void append_json_escaped(std::string& out, std::string_view s);
+
 /// Compact single-line JSON object for one point.  Field order is fixed and
 /// doubles print at round-trip precision, so identical results serialize to
 /// identical bytes — the representation the `--jobs N == --jobs 1` and

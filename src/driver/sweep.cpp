@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "compiler/codegen.hpp"
@@ -33,6 +34,21 @@ CodegenVariant variant_for(MachineKind kind) {
 
 }  // namespace
 
+namespace {
+
+/// Per-tile codegen seed: tile 0 keeps the point's seed bit-for-bit (a
+/// one-tile run must replay the historical single-core streams); the other
+/// tiles decorrelate their irregular address streams with a SplitMix-style
+/// mix of the tile index.
+std::uint64_t tile_seed(std::uint64_t seed, unsigned tile) {
+  if (tile == 0) return seed;
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (tile + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 PointResult run_point(const SweepPoint& p) {
   PointResult out;
   out.point = p;
@@ -47,8 +63,13 @@ PointResult run_point(const SweepPoint& p) {
   cfg.hierarchy.pf_l1.enabled = prefetch;
   cfg.hierarchy.pf_l2.enabled = prefetch;
   cfg.hierarchy.pf_l3.enabled = prefetch;
+  const unsigned cores = static_cast<unsigned>(std::stoul(p.knob("cores", "1")));
+  if (cores == 0 || cores > 64)
+    throw std::invalid_argument("cores knob out of range (1..64) at " + p.label);
 
   if (p.workload == "micro") {
+    if (cores != 1)
+      throw std::invalid_argument("workload micro is single-core only (cores=1) at " + p.label);
     MicrobenchConfig mc;
     mc.mode = parse_micro_mode(p.knob("micro_mode", "Baseline"));
     mc.guarded_pct = static_cast<unsigned>(std::stoul(p.knob("micro_pct", "0")));
@@ -67,12 +88,38 @@ PointResult run_point(const SweepPoint& p) {
     // kind (like the original benches) so address streams match across
     // variants and runs stay directly comparable.
     const MachineConfig geometry = MachineConfig::hybrid_coherent();
-    System sys(std::move(cfg));
-    CompiledKernel kernel =
-        compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
-    out.mapped_refs = kernel.classification().num_regular;
-    out.demoted_refs = kernel.classification().demoted_regular;
-    out.report = sys.run(kernel);
+    if (cores == 1) {
+      System sys(std::move(cfg));
+      CompiledKernel kernel =
+          compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
+      out.mapped_refs = kernel.classification().num_regular;
+      out.demoted_refs = kernel.classification().demoted_regular;
+      out.report = sys.run(kernel);
+    } else {
+      // SPMD: each tile compiles its own slice of the kernel (same loop
+      // shape, balanced iteration slice, tile-private array region) against
+      // its tile-local LM, and the System runs them with an end-of-stream
+      // barrier over the shared uncore.
+      System sys(std::move(cfg), cores);
+      std::vector<std::unique_ptr<CompiledKernel>> kernels;
+      std::vector<InstrStream*> streams;
+      kernels.reserve(cores);
+      streams.reserve(cores);
+      for (unsigned t = 0; t < cores; ++t) {
+        const Workload slice = make_spmd_slice(w, t, cores);
+        // More tiles than iterations: the trailing slices are empty (the
+        // remainder goes to the first tiles) and those tiles stay idle.
+        if (slice.loop.iterations == 0) break;
+        CodegenOptions cot = co;
+        cot.global_seed = tile_seed(p.seed, t);
+        kernels.push_back(std::make_unique<CompiledKernel>(
+            compile(slice.loop, cot, geometry.lm.virtual_base, geometry.lm.size, dir_entries)));
+        streams.push_back(kernels.back().get());
+      }
+      out.mapped_refs = kernels.front()->classification().num_regular;
+      out.demoted_refs = kernels.front()->classification().demoted_regular;
+      out.report = sys.run(streams);
+    }
   }
   // An empty workload (config-only point) is legal and returns a zero report.
   out.ok = true;

@@ -20,6 +20,10 @@ namespace hm::driver {
 /// Simulate one expanded point.  Throws for unknown machine/workload names
 /// and for the `fail=1` test knob; exceptions are isolated per job by the
 /// scheduler.  Knobs understood (absent => default_knobs() value):
+///   cores         tile count (NAS kernels only): the workload is
+///                 SPMD-partitioned across the tiles of a System(cfg, N)
+///                 and run with an end-of-stream barrier; cores=1 replays
+///                 the historical single-core streams bit-for-bit
 ///   dir_entries   coherence-directory entry count (and compile max_buffers)
 ///   prefetch      on/off: L1/L2/L3 stream prefetchers
 ///   readonly_opt  on/off: off = always-write-back instead of double store

@@ -40,14 +40,20 @@ Cycle DmaController::get(Cycle now, Addr sm_src, Addr lm_dst, Bytes size, unsign
   // Pipelined engine: an idle engine pays the first line's full snoop/DRAM
   // latency; a busy engine hides the next command's fetch behind its own
   // streaming tail (the memory side prefetches across command boundaries),
-  // sustaining one line per `per_line` cycles.
+  // sustaining one line per `per_line` cycles.  The shared DMA bus grants
+  // the command a window for the interval the transfer actually streams —
+  // from when both the MMIO command and the engine are ready — so
+  // arbitration across tiles blocks exactly the busy span.  With one tile
+  // the grant never delays (start == max(queued, engine_free_)).
   const Cycle queued = now + cfg_.startup;
+  const Cycle start = hierarchy_.dma_bus_grant(std::max(queued, engine_free_),
+                                               nlines * cfg_.per_line);
   Cycle t;
   if (engine_free_ <= queued) {
-    t = hierarchy_.dma_read_line(queued, first);
+    t = hierarchy_.dma_read_line(start, first);
   } else {
-    hierarchy_.dma_read_line(engine_free_, first);  // activity accounting
-    t = engine_free_ + cfg_.per_line;
+    hierarchy_.dma_read_line(start, first);  // activity accounting
+    t = start + cfg_.per_line;
   }
   for (Addr a = first + line; a <= last; a += line) {
     hierarchy_.dma_read_line(t, a);  // bus + snoop activity for every line
@@ -78,12 +84,19 @@ Cycle DmaController::put(Cycle now, Addr lm_src, Addr sm_dst, Bytes size, unsign
   const Bytes nlines = (last - first) / line + 1;
   lines_->inc(nlines);
 
-  // Every line is written to main memory and invalidated in the caches;
-  // writes are posted, so the engine streams at the pipelined rate without
-  // waiting for DRAM write completion.
+  // Every line is written to main memory and invalidated in the caches
+  // (all tiles' L1s included — the uncore broadcast); writes are posted, so
+  // the engine streams at the pipelined rate without waiting for DRAM write
+  // completion.  The bus window covers the streaming interval (both the
+  // command and the engine ready); cross-tile arbitration shifts the whole
+  // command by `start - bus_ready`, zero on a single tile.
   const Cycle queued = now + cfg_.startup;
-  hierarchy_.dma_write_line(queued, first);
-  Cycle t = std::max(queued + cfg_.per_line, engine_free_ + cfg_.per_line);
+  const Cycle bus_ready = std::max(queued, engine_free_);
+  const Cycle start = hierarchy_.dma_bus_grant(bus_ready, nlines * cfg_.per_line);
+  // The first posted write may slip ahead of a busy engine's tail (it needs
+  // only the command decode); it shifts with the cross-tile bus delay.
+  hierarchy_.dma_write_line(queued + (start - bus_ready), first);
+  Cycle t = start + cfg_.per_line;
   for (Addr a = first + line; a <= last; a += line) {
     hierarchy_.dma_write_line(t, a);
     t += cfg_.per_line;

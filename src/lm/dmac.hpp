@@ -7,7 +7,12 @@
 //  * dma-get bus requests snoop the cache hierarchy and copy from a cache
 //    when the line is resident, otherwise from main memory;
 //  * dma-put bus requests copy to main memory and invalidate the line in the
-//    whole hierarchy.
+//    whole hierarchy — on a multi-tile machine the uncore broadcasts the
+//    invalidation to every tile's L1.
+//
+// On the tile-based machine each tile owns a DMAC; commands are granted a
+// window on the shared DMA bus first (fixed-priority arbitration across
+// tiles, a no-op with a single tile).
 //
 // The DMAC is also the component that updates the coherence directory: every
 // dma-get maps (source SM base -> destination LM buffer) and the Presence

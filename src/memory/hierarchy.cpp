@@ -17,18 +17,28 @@ namespace hm {
 //    fixed-size, and all statistics counters are pre-registered.
 
 MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
+    : MemoryHierarchy(std::move(cfg), static_cast<Uncore*>(nullptr)) {}
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, Uncore& uncore)
+    : MemoryHierarchy(std::move(cfg), &uncore) {}
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, Uncore* shared)
     : cfg_(std::move(cfg)),
+      owned_uncore_(shared != nullptr ? nullptr : std::make_unique<Uncore>(cfg_)),
+      uncore_(shared != nullptr ? *shared : *owned_uncore_),
+      port_(0),
       l1d_(cfg_.l1d),
-      l2_(cfg_.l2),
-      l3_(cfg_.l3),
-      mem_(cfg_.mem),
       mshr_("L1_MSHR", cfg_.mshr),
       pf_l1_("PF_L1", cfg_.pf_l1, cfg_.l1d.line_size),
-      pf_l2_("PF_L2", cfg_.pf_l2, cfg_.l2.line_size),
-      pf_l3_("PF_L3", cfg_.pf_l3, cfg_.l3.line_size),
-      l2_pool_(cfg_.l2_gap),
-      l3_pool_(cfg_.l3_gap),
+      l2_(uncore_.l2()),
+      l3_(uncore_.l3()),
+      mem_(uncore_.memory()),
+      pf_l2_(uncore_.pf_l2()),
+      pf_l3_(uncore_.pf_l3()),
+      l2_pool_(uncore_.l2_pool()),
+      l3_pool_(uncore_.l3_pool()),
       stats_("hierarchy") {
+  port_ = uncore_.register_l1(&l1d_);
   stats_.bind("loads", &hot_.loads);
   stats_.bind("stores", &hot_.stores);
   stats_.bind("writethrough_traffic", &hot_.writethrough_traffic);
@@ -252,38 +262,31 @@ AccessResult MemoryHierarchy::access(Cycle now, Addr addr, AccessType type, Addr
 
 Cycle MemoryHierarchy::dma_read_line(Cycle now, Addr line_addr) {
   ++hot_.bus_dma;
-  // Coherent dma-get: snoop the hierarchy top-down; copy from the first
-  // level that holds the line (the SM is internally coherent so any resident
-  // copy is valid), otherwise from main memory.
+  // Coherent dma-get: snoop top-down; copy from the first level that holds
+  // the line (the SM is internally coherent so any resident copy is valid),
+  // otherwise the uncore serves it from L2/L3/memory.
   if (l1d_.probe(line_addr)) return now + cfg_.l1d.latency;
-  if (l2_.probe(line_addr)) return now + cfg_.l2.latency;
-  if (l3_.probe(line_addr)) return now + cfg_.l3.latency;
-  return mem_.access(now, AccessType::Read);
+  return uncore_.dma_get_line(now, line_addr);
 }
 
 Cycle MemoryHierarchy::dma_write_line(Cycle now, Addr line_addr) {
   ++hot_.bus_dma;
-  // Coherent dma-put: the line is written to main memory and any cached
-  // copy is invalidated (dirty or not — the DMA data is the valid version,
-  // see §3.4.2: the LM copy is evicted, the cache copy discarded).
-  l1d_.invalidate(line_addr);
-  l2_.invalidate(line_addr);
-  l3_.invalidate(line_addr);
-  return mem_.access(now, AccessType::Write);
+  // Coherent dma-put: the uncore writes the line to main memory and
+  // broadcasts the invalidation — shared levels plus every tile's L1
+  // (§3.4.2: the DMA data is the valid version everywhere).
+  return uncore_.dma_put_line(now, line_addr);
 }
 
 void MemoryHierarchy::reset() {
   for (WcbEntry& e : wcb_) e = WcbEntry{};
-  l2_pool_.reset();
-  l3_pool_.reset();
   l1d_.flush_all();
-  l2_.flush_all();
-  l3_.flush_all();
-  mem_.reset();
   mshr_.reset();
   pf_l1_.reset();
-  pf_l2_.reset();
-  pf_l3_.reset();
+  // A standalone hierarchy owns its uncore and resets the whole machine —
+  // the historical single-object contract tests and benches rely on.  Over
+  // a shared uncore only the private side resets here; the machine owner
+  // (System) resets the uncore exactly once per run.
+  if (owned_uncore_) owned_uncore_->reset();
 }
 
 std::uint64_t MemoryHierarchy::total_activity(const SetAssocCache& c) {

@@ -1,11 +1,19 @@
-// Three-level cache hierarchy + main memory, with per-level IP-based stream
-// prefetchers, MSHRs at L1, and the coherent-DMA bus operations the hybrid
-// memory system requires (§2.1 of the paper):
+// Per-tile private side of the memory system, over a shared Uncore.
+//
+// The paper's machine is a multicore (§2.1): each core owns its L1, MSHRs,
+// L1 prefetcher and write-combining buffer, while L2/L3, main memory and
+// the DMA bus are shared.  MemoryHierarchy models ONE tile's port into that
+// machine: it owns the private structures and drives the shared ones
+// through the Uncore it is registered with.  The standalone constructor
+// wraps a private single-tile Uncore, which is the pre-tile monolithic
+// hierarchy — bit-identical timing and statistics.
+//
+// Coherent-DMA bus operations (§2.1 of the paper):
 //
 //  * dma-get bus requests look the line up in the caches and copy from there
 //    when present, otherwise from main memory;
 //  * dma-put bus requests copy to main memory and invalidate the line in the
-//    whole hierarchy.
+//    whole hierarchy — every tile's L1 included (the uncore broadcast).
 //
 // Timing model: an access that hits at level N pays the sum of the lookup
 // latencies of levels 1..N (sequential lookup, no early restart).  Fills
@@ -15,7 +23,10 @@
 // Table 3 ("hits, misses, lookups and invalidations provoked by memory
 // instructions, prefetchers, placement of cache lines by the MSHRs,
 // write-through and write-back policies and bus requests of the DMA
-// commands").
+// commands").  Uncore traffic (bus transfers, port-queue cycles) is counted
+// in the *initiating* tile's StatGroup, so per-tile activity attribution
+// falls out for free and a single-tile machine reports exactly the
+// pre-tile numbers.
 #pragma once
 
 #include <memory>
@@ -28,33 +39,9 @@
 #include "memory/main_memory.hpp"
 #include "memory/mshr.hpp"
 #include "memory/prefetcher.hpp"
+#include "memory/uncore.hpp"
 
 namespace hm {
-
-struct HierarchyConfig {
-  CacheConfig l1d{.name = "L1D", .size = 32 * 1024, .associativity = 8, .line_size = 64,
-                  .latency = 2, .write_policy = WritePolicy::WriteThrough};
-  CacheConfig l2{.name = "L2", .size = 256 * 1024, .associativity = 24, .line_size = 64,
-                 .latency = 15, .write_policy = WritePolicy::WriteBack};
-  CacheConfig l3{.name = "L3", .size = 4 * 1024 * 1024, .associativity = 32, .line_size = 64,
-                 .latency = 40, .write_policy = WritePolicy::WriteBack};
-  MainMemoryConfig mem{};
-  /// The L1 prefetcher's IP table is small (latency-critical structure);
-  /// loops with many concurrent streams overflow it — the collision effect
-  /// §4.3 reports.  The L2/L3 prefetchers are less latency-constrained and
-  /// carry larger tables, so streams that die in L1 still partially cover
-  /// from L2/L3 (matching the cache-based AMATs of Table 3).
-  PrefetcherConfig pf_l1{.table_entries = 16};
-  PrefetcherConfig pf_l2{.table_entries = 64};
-  PrefetcherConfig pf_l3{.table_entries = 64};
-  MshrConfig mshr{.entries = 16};
-  /// Minimum cycles between request starts at L2/L3 (port bandwidth).  A
-  /// write-through L1 sends every store to L2, so write-heavy loops contend
-  /// here — one of the costs the hybrid machine avoids by serving regular
-  /// stores from the LM.
-  Cycle l2_gap = 3;
-  Cycle l3_gap = 6;
-};
 
 struct AccessResult {
   Cycle complete = 0;    ///< cycle at which the data is available
@@ -64,7 +51,15 @@ struct AccessResult {
 
 class MemoryHierarchy {
  public:
+  /// Standalone single-tile hierarchy: owns a private Uncore.  This is the
+  /// pre-tile monolithic configuration the unit tests and the engine
+  /// benchmark drive directly.
   explicit MemoryHierarchy(HierarchyConfig cfg);
+
+  /// One tile's private side over a shared @p uncore (which must outlive
+  /// this object).  The tile's L1 is registered with the uncore for
+  /// dma-put invalidation broadcasts and DMA bus arbitration.
+  MemoryHierarchy(HierarchyConfig cfg, Uncore& uncore);
 
   // stats_ holds pointers to the inline hot_ counters below (and the member
   // caches pin themselves the same way); not movable, not copyable.
@@ -77,36 +72,51 @@ class MemoryHierarchy {
   /// for prefetcher training.
   AccessResult access(Cycle now, Addr addr, AccessType type, Addr pc);
 
-  /// Coherent dma-get bus request for one line: read from the caches if the
-  /// line is resident, else from main memory.  Returns completion cycle.
+  /// Coherent dma-get bus request for one line: read from this tile's L1 if
+  /// resident, else from the shared caches, else from main memory.
+  /// Returns completion cycle.
   Cycle dma_read_line(Cycle now, Addr line_addr);
 
   /// Coherent dma-put bus request for one line: write to main memory and
-  /// invalidate the line everywhere in the hierarchy.
+  /// invalidate the line everywhere — shared levels and all tiles' L1s.
   Cycle dma_write_line(Cycle now, Addr line_addr);
 
-  /// Drop all cache contents and in-flight state.
+  /// DMA bus arbitration for one command occupying the bus for @p len
+  /// cycles from @p ready (see Uncore::dma_bus_grant).  Equals @p ready on
+  /// a single-tile machine.
+  Cycle dma_bus_grant(Cycle ready, Cycle len) {
+    return uncore_.dma_bus_grant(port_, ready, len);
+  }
+
+  /// Drop all cache contents and in-flight state.  A standalone hierarchy
+  /// also resets its owned uncore (the whole machine); over a shared
+  /// uncore only the private side resets — the machine owner resets the
+  /// uncore once per run.
   void reset();
 
   Bytes line_size() const { return cfg_.l1d.line_size; }
   const HierarchyConfig& config() const { return cfg_; }
 
+  Uncore& uncore() { return uncore_; }
+  const Uncore& uncore() const { return uncore_; }
+  unsigned port() const { return port_; }
+
   SetAssocCache& l1d() { return l1d_; }
-  SetAssocCache& l2() { return l2_; }
-  SetAssocCache& l3() { return l3_; }
-  MainMemory& memory() { return mem_; }
+  SetAssocCache& l2() { return uncore_.l2(); }
+  SetAssocCache& l3() { return uncore_.l3(); }
+  MainMemory& memory() { return uncore_.memory(); }
   Mshr& mshr() { return mshr_; }
   StreamPrefetcher& pf_l1() { return pf_l1_; }
-  StreamPrefetcher& pf_l2() { return pf_l2_; }
-  StreamPrefetcher& pf_l3() { return pf_l3_; }
+  StreamPrefetcher& pf_l2() { return uncore_.pf_l2(); }
+  StreamPrefetcher& pf_l3() { return uncore_.pf_l3(); }
   const SetAssocCache& l1d() const { return l1d_; }
-  const SetAssocCache& l2() const { return l2_; }
-  const SetAssocCache& l3() const { return l3_; }
-  const MainMemory& memory() const { return mem_; }
+  const SetAssocCache& l2() const { return uncore_.l2(); }
+  const SetAssocCache& l3() const { return uncore_.l3(); }
+  const MainMemory& memory() const { return uncore_.memory(); }
   const Mshr& mshr() const { return mshr_; }
   const StreamPrefetcher& pf_l1() const { return pf_l1_; }
-  const StreamPrefetcher& pf_l2() const { return pf_l2_; }
-  const StreamPrefetcher& pf_l3() const { return pf_l3_; }
+  const StreamPrefetcher& pf_l2() const { return uncore_.pf_l2(); }
+  const StreamPrefetcher& pf_l3() const { return uncore_.pf_l3(); }
 
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }
@@ -116,6 +126,10 @@ class MemoryHierarchy {
   static std::uint64_t total_activity(const SetAssocCache& c);
 
  private:
+  /// Shared implementation of the two public constructors: @p shared is the
+  /// machine's uncore, or null to own a private single-tile one.
+  MemoryHierarchy(HierarchyConfig cfg, Uncore* shared);
+
   /// Per-access scratch for the hierarchy-level counters: the hot path
   /// accumulates into plain integers and access() commits them to the
   /// StatGroup counters once, instead of chasing Counter pointers at every
@@ -151,7 +165,8 @@ class MemoryHierarchy {
                       Scratch& sc);
 
   /// Book one L2 (resp. L3) port slot at or after @p when; returns the start
-  /// cycle.  Models finite cache bandwidth.
+  /// cycle.  Models finite cache bandwidth — the pool is shared across all
+  /// tiles of the machine (uncore port arbitration).
   Cycle book_l2(Cycle when, Scratch& sc);
   Cycle book_l3(Cycle when, Scratch& sc);
 
@@ -165,24 +180,32 @@ class MemoryHierarchy {
   void run_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& sc);
 
   HierarchyConfig cfg_;
+  /// Non-null only for the standalone constructor; uncore_ points at it.
+  std::unique_ptr<Uncore> owned_uncore_;
+  Uncore& uncore_;
+  unsigned port_;  ///< this tile's uncore port id (DMA bus arbitration)
   SetAssocCache l1d_;
-  SetAssocCache l2_;
-  SetAssocCache l3_;
-  MainMemory mem_;
   Mshr mshr_;
   StreamPrefetcher pf_l1_;
-  StreamPrefetcher pf_l2_;
-  StreamPrefetcher pf_l3_;
+  // Shared structures, bound once at construction so the hot path keeps the
+  // direct references it had when the hierarchy was monolithic.
+  SetAssocCache& l2_;
+  SetAssocCache& l3_;
+  MainMemory& mem_;
+  StreamPrefetcher& pf_l2_;
+  StreamPrefetcher& pf_l3_;
+  BandwidthPool& l2_pool_;
+  BandwidthPool& l3_pool_;
   struct WcbEntry {
     Addr line = kNoAddr;
     Cycle drain = 0;
   };
   static constexpr unsigned kWcbEntries = 4;
   WcbEntry wcb_[kWcbEntries] = {};
-  BandwidthPool l2_pool_;
-  BandwidthPool l3_pool_;
   /// Hierarchy-level counters as inline fields (commit() adds a whole
-  /// Scratch at once); bound into stats_ at construction.
+  /// Scratch at once); bound into stats_ at construction.  All of them —
+  /// including the uncore bus legs — are attributed to this (initiating)
+  /// tile.
   struct HotCounters {
     std::uint64_t loads = 0;
     std::uint64_t stores = 0;

@@ -1,0 +1,152 @@
+// The shared uncore of the tile-based multicore machine.
+//
+// The paper's design is a multicore: every core pairs its L1 with a local
+// memory, DMA controller and coherence directory, while the outer cache
+// levels and DRAM are shared (§2.1).  This class owns everything *behind*
+// the per-tile L1 port:
+//
+//  * the shared L2 and L3 caches with their per-port bandwidth pools (one
+//    request may start per `l2_gap`/`l3_gap` cycles across ALL tiles — the
+//    arbitration point where tiles contend; note the pools keep a bounded
+//    ring of booked slots, so cross-tile port contention is modeled within
+//    that trailing window and understated beyond it — see System::run),
+//  * the L2/L3 stream prefetchers (trained by every tile's miss stream,
+//    like a physically shared prefetch engine),
+//  * main memory,
+//  * the coherent DMA bus: dma-put bus requests write to main memory and
+//    broadcast an invalidation to the shared levels AND to every tile's L1
+//    (§3.4.2 — the DMA data is the valid version everywhere), and a
+//    fixed-priority per-command bus arbiter serializes transfers from
+//    different tiles whose simulated windows overlap.
+//
+// Tiles register their L1 at construction; a single-tile machine behaves
+// bit-identically to the pre-tile monolithic hierarchy (one L1 registered,
+// the arbiter never delays the only requester).
+#pragma once
+
+#include <vector>
+
+#include "common/bandwidth.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "memory/cache.hpp"
+#include "memory/main_memory.hpp"
+#include "memory/mshr.hpp"
+#include "memory/prefetcher.hpp"
+
+namespace hm {
+
+struct HierarchyConfig {
+  CacheConfig l1d{.name = "L1D", .size = 32 * 1024, .associativity = 8, .line_size = 64,
+                  .latency = 2, .write_policy = WritePolicy::WriteThrough};
+  CacheConfig l2{.name = "L2", .size = 256 * 1024, .associativity = 24, .line_size = 64,
+                 .latency = 15, .write_policy = WritePolicy::WriteBack};
+  CacheConfig l3{.name = "L3", .size = 4 * 1024 * 1024, .associativity = 32, .line_size = 64,
+                 .latency = 40, .write_policy = WritePolicy::WriteBack};
+  MainMemoryConfig mem{};
+  /// The L1 prefetcher's IP table is small (latency-critical structure);
+  /// loops with many concurrent streams overflow it — the collision effect
+  /// §4.3 reports.  The L2/L3 prefetchers are less latency-constrained and
+  /// carry larger tables, so streams that die in L1 still partially cover
+  /// from L2/L3 (matching the cache-based AMATs of Table 3).
+  PrefetcherConfig pf_l1{.table_entries = 16};
+  PrefetcherConfig pf_l2{.table_entries = 64};
+  PrefetcherConfig pf_l3{.table_entries = 64};
+  MshrConfig mshr{.entries = 16};
+  /// Minimum cycles between request starts at L2/L3 (port bandwidth).  A
+  /// write-through L1 sends every store to L2, so write-heavy loops contend
+  /// here — one of the costs the hybrid machine avoids by serving regular
+  /// stores from the LM.  The pools live in the shared uncore: with several
+  /// tiles, requests whose simulated cycles overlap contend for the same
+  /// port slots regardless of which tile issued them.
+  Cycle l2_gap = 3;
+  Cycle l3_gap = 6;
+};
+
+class Uncore {
+ public:
+  explicit Uncore(const HierarchyConfig& cfg);
+
+  // The member caches/prefetchers own StatGroups and the registered-L1 list
+  // holds raw pointers; not movable, not copyable.
+  Uncore(const Uncore&) = delete;
+  Uncore& operator=(const Uncore&) = delete;
+  Uncore(Uncore&&) = delete;
+  Uncore& operator=(Uncore&&) = delete;
+
+  /// Attach one tile's L1 (invalidation-broadcast target).  Returns the
+  /// tile's port id, used by the DMA bus arbiter.
+  unsigned register_l1(SetAssocCache* l1);
+
+  /// Coherent dma-get bus request for one line below the initiating tile's
+  /// L1: read from the shared caches if the line is resident, else from
+  /// main memory.  Returns completion cycle.
+  Cycle dma_get_line(Cycle now, Addr line_addr);
+
+  /// Coherent dma-put bus request for one line: write to main memory and
+  /// invalidate the line in the shared levels and in EVERY tile's L1 —
+  /// including tiles other than the initiator, which is what keeps a
+  /// dma-put from tile A coherent with a line cached by tile B.
+  Cycle dma_put_line(Cycle now, Addr line_addr);
+
+  /// Fixed-priority DMA bus arbitration at command granularity: grant port
+  /// @p port a bus window of @p len cycles starting at or after @p ready,
+  /// pushed past any window of another port that overlaps it in simulated
+  /// time.  With a single registered tile the grant always equals @p ready,
+  /// so single-core timing is untouched.  Deterministic: tiles run in fixed
+  /// order, and lower port ids win the bus (a fixed-priority arbiter).
+  Cycle dma_bus_grant(unsigned port, Cycle ready, Cycle len);
+
+  /// Drop all shared cache contents, pool state and bus windows.
+  /// Idempotent — every tile's reset may call it.
+  void reset();
+
+  /// Clear the uncore-owned statistics (shared caches, DRAM, prefetchers,
+  /// bus arbiter).
+  void reset_stats();
+
+  SetAssocCache& l2() { return l2_; }
+  SetAssocCache& l3() { return l3_; }
+  MainMemory& memory() { return mem_; }
+  StreamPrefetcher& pf_l2() { return pf_l2_; }
+  StreamPrefetcher& pf_l3() { return pf_l3_; }
+  BandwidthPool& l2_pool() { return l2_pool_; }
+  BandwidthPool& l3_pool() { return l3_pool_; }
+  const SetAssocCache& l2() const { return l2_; }
+  const SetAssocCache& l3() const { return l3_; }
+  const MainMemory& memory() const { return mem_; }
+  const StreamPrefetcher& pf_l2() const { return pf_l2_; }
+  const StreamPrefetcher& pf_l3() const { return pf_l3_; }
+
+  unsigned num_ports() const { return static_cast<unsigned>(l1s_.size()); }
+
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+
+ private:
+  struct BusWindow {
+    Cycle start = 0;
+    Cycle end = 0;  ///< exclusive
+  };
+
+  HierarchyConfig cfg_;
+  SetAssocCache l2_;
+  SetAssocCache l3_;
+  MainMemory mem_;
+  StreamPrefetcher pf_l2_;
+  StreamPrefetcher pf_l3_;
+  BandwidthPool l2_pool_;
+  BandwidthPool l3_pool_;
+  std::vector<SetAssocCache*> l1s_;          ///< broadcast targets, port order
+  std::vector<std::vector<BusWindow>> dma_windows_;  ///< per port, start-sorted
+  /// scan_cursor_[granting port][other port]: first window of the other
+  /// port that may still overlap a future grant (query ready times are
+  /// monotonic per port, so fully-passed windows are skipped for good).
+  std::vector<std::vector<std::size_t>> scan_cursor_;
+  StatGroup stats_;
+  Counter* dma_bus_grants_;
+  Counter* dma_bus_wait_cycles_;
+  Counter* dma_invalidate_broadcasts_;
+};
+
+}  // namespace hm

@@ -1,5 +1,6 @@
 #include "sim/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -95,6 +96,28 @@ void append_report_fields(std::string& out, const RunReport& r) {
   json_kv_u64(out, "act_l1_size", r.activity.l1_size);
   json_kv_bool(out, "act_has_lm", r.activity.has_lm);
   json_kv_bool(out, "act_has_directory", r.activity.has_directory);
+  // Per-tile sections (tile order).  The key prefix carries the tile index,
+  // so the object stays flat and the emission byte-stable for identical
+  // reports.
+  json_kv_u64(out, "n_tiles", r.tiles.size());
+  for (std::size_t i = 0; i < r.tiles.size(); ++i) {
+    const TileReport& t = r.tiles[i];
+    char key[48];
+    const auto kv_u64 = [&](const char* field, std::uint64_t v) {
+      std::snprintf(key, sizeof(key), "t%zu_%s", i, field);
+      json_kv_u64(out, key, v);
+    };
+    kv_u64("cycles", t.cycles);
+    kv_u64("uops", t.uops);
+    kv_u64("loads", t.loads);
+    kv_u64("stores", t.stores);
+    kv_u64("l1_accesses", t.l1_accesses);
+    kv_u64("lm_accesses", t.lm_accesses);
+    kv_u64("directory_accesses", t.directory_accesses);
+    kv_u64("dma_lines", t.dma_lines);
+    std::snprintf(key, sizeof(key), "t%zu_energy", i);
+    json_kv_dbl(out, key, t.energy);
+  }
   out.pop_back();  // drop the trailing comma
 }
 
@@ -148,6 +171,27 @@ RunReport report_from_fields(const FieldMap& f) {
   r.activity.l1_size = f_u64(f, "act_l1_size");
   r.activity.has_lm = f_bool(f, "act_has_lm");
   r.activity.has_directory = f_bool(f, "act_has_directory");
+  // Cap against corrupt cache files; no real machine has this many tiles.
+  const std::uint64_t n_tiles = std::min<std::uint64_t>(f_u64(f, "n_tiles"), 4096);
+  r.tiles.resize(n_tiles);
+  for (std::uint64_t i = 0; i < n_tiles; ++i) {
+    TileReport& t = r.tiles[i];
+    char key[48];
+    const auto u64 = [&](const char* field) {
+      std::snprintf(key, sizeof(key), "t%llu_%s", static_cast<unsigned long long>(i), field);
+      return f_u64(f, key);
+    };
+    t.cycles = u64("cycles");
+    t.uops = u64("uops");
+    t.loads = u64("loads");
+    t.stores = u64("stores");
+    t.l1_accesses = u64("l1_accesses");
+    t.lm_accesses = u64("lm_accesses");
+    t.directory_accesses = u64("directory_accesses");
+    t.dma_lines = u64("dma_lines");
+    std::snprintf(key, sizeof(key), "t%llu_energy", static_cast<unsigned long long>(i));
+    t.energy = f_dbl(f, key);
+  }
   return r;
 }
 

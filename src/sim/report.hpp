@@ -13,9 +13,10 @@ namespace hm {
 
 /// Version stamp for serialized reports and the sweep memo cache.  Bump it
 /// whenever an engine change (timing model, energy model, workload
-/// synthesis) alters any simulated metric, so stale cached reports are
-/// never mistaken for current ones.
-inline constexpr std::uint64_t kEngineVersion = 1;
+/// synthesis) alters any simulated metric — or the serialized schema — so
+/// stale cached reports are never mistaken for current ones.
+/// v2: tile-based multicore — RunReport carries per-tile sections.
+inline constexpr std::uint64_t kEngineVersion = 2;
 
 /// Parsed flat JSON object: field name -> raw value token (strings already
 /// unescaped).  Shared between sim/report and the driver layer.

@@ -1,109 +1,163 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace hm {
 
-System::System(MachineConfig cfg)
-    : cfg_(std::move(cfg)),
-      hierarchy_(cfg_.hierarchy),
-      // std::in_place: the subsystems own StatGroups (immovable), so the
-      // optionals must construct their payloads in place rather than move.
-      lm_(cfg_.has_lm() ? std::optional<LocalMemory>(std::in_place, cfg_.lm) : std::nullopt),
-      // The oracle machine keeps a directory object: the DMAC updates it so
-      // the core's zero-cost peek can find the valid copy.  Only the
-      // HybridCoherent machine pays for it (energy/latency).
-      directory_(cfg_.has_lm()
-                     ? std::optional<CoherenceDirectory>(std::in_place, cfg_.directory)
-                     : std::nullopt),
-      dmac_(cfg_.has_lm()
-                ? std::optional<DmaController>(std::in_place, cfg_.dma, hierarchy_, *lm_,
-                                               directory_ ? &*directory_ : nullptr, &image_)
-                : std::nullopt),
-      core_(cfg_.core, hierarchy_, lm_ ? &*lm_ : nullptr, directory_ ? &*directory_ : nullptr,
-            dmac_ ? &*dmac_ : nullptr, &image_),
-      energy_model_(cfg_.energy) {}
-
-void System::reset_timing_state() {
-  hierarchy_.reset();
-  if (dmac_) dmac_->reset();
-  core_.bpred().reset();
-
-  // Clear all statistics so every run reports its own activity.
-  hierarchy_.stats().reset_all();
-  hierarchy_.l1d().stats().reset_all();
-  hierarchy_.l2().stats().reset_all();
-  hierarchy_.l3().stats().reset_all();
-  hierarchy_.memory().stats().reset_all();
-  hierarchy_.mshr().stats().reset_all();
-  hierarchy_.pf_l1().stats().reset_all();
-  hierarchy_.pf_l2().stats().reset_all();
-  hierarchy_.pf_l3().stats().reset_all();
-  core_.stats().reset_all();
-  core_.bpred().stats().reset_all();
-  if (lm_) lm_->stats().reset_all();
-  if (directory_) directory_->stats().reset_all();
-  if (dmac_) dmac_->stats().reset_all();
+System::System(MachineConfig cfg, unsigned n_cores)
+    : cfg_(std::move(cfg)), uncore_(cfg_.hierarchy), energy_model_(cfg_.energy) {
+  if (n_cores == 0) throw std::invalid_argument("System needs at least one core");
+  tiles_.reserve(n_cores);
+  for (unsigned i = 0; i < n_cores; ++i)
+    tiles_.push_back(std::make_unique<Tile>(cfg_, uncore_, &image_));
 }
 
-ActivityCounts System::collect_activity(const RunResult& res) const {
-  ActivityCounts a;
-  a.l1_activity = MemoryHierarchy::total_activity(hierarchy_.l1d());
-  a.l2_activity = MemoryHierarchy::total_activity(hierarchy_.l2());
-  a.l3_activity = MemoryHierarchy::total_activity(hierarchy_.l3());
-  a.mem_accesses = hierarchy_.memory().stats().value("accesses");
-  a.lm_accesses = lm_ ? lm_->stats().value("accesses") : 0;
-  a.dir_lookups = directory_ ? directory_->stats().value("lookups") : 0;
-  a.dir_updates = directory_ ? directory_->stats().value("updates") : 0;
-
-  const StatGroup& cs = core_.stats();
-  a.fetch_groups = cs.value("fetch_groups");
-  a.uops = res.uops;
-  a.regfile_reads = cs.value("regfile_reads");
-  a.regfile_writes = cs.value("regfile_writes");
-  a.int_ops = cs.value("int_ops");
-  a.fp_ops = cs.value("fp_ops");
-  a.branches = cs.value("branches");
-  a.mem_uops = cs.value("loads") + cs.value("stores");
-  a.replay_uops = cs.value("replay_uops");
-  a.flushed_slots = cs.value("flushed_slots");
-
-  const auto pf_sum = [&](const char* counter) {
-    return hierarchy_.pf_l1().stats().value(counter) + hierarchy_.pf_l2().stats().value(counter) +
-           hierarchy_.pf_l3().stats().value(counter);
-  };
-  a.prefetch_trainings = pf_sum("trainings");
-  a.prefetch_issues = pf_sum("prefetches_issued");
-  a.dma_lines = dmac_ ? dmac_->stats().value("lines") : 0;
-
-  const StatGroup& hs = hierarchy_.stats();
-  a.bus_transfers = hs.value("bus_l1_l2") + hs.value("bus_l2_l3") + hs.value("bus_l3_mem") +
-                    hs.value("bus_dma");
-
-  a.cycles = res.cycles;
-  a.l1_size = cfg_.hierarchy.l1d.size;
-  a.has_lm = cfg_.has_lm();
-  // The oracle baseline models an incoherent machine without directory
-  // hardware: no directory energy is charged (§4.2).
-  a.has_directory = cfg_.has_directory_hardware();
-  return a;
+void System::reset_timing_state() {
+  uncore_.reset();
+  uncore_.reset_stats();
+  for (auto& t : tiles_) t->reset();
 }
 
 RunReport System::run(InstrStream& program) {
+  return run(std::vector<InstrStream*>{&program});
+}
+
+RunReport System::run(const std::vector<InstrStream*>& programs) {
+  if (programs.empty())
+    throw std::invalid_argument("System::run needs at least one program");
+  if (programs.size() > tiles_.size())
+    throw std::invalid_argument("more programs than tiles");
+  for (InstrStream* p : programs)
+    if (p == nullptr) throw std::invalid_argument("null program");
+
   reset_timing_state();
-  program.reset();
+
+  // Tiles run in tile order against the shared uncore, each on its own
+  // local clock from cycle 0.  The outcome is deterministic and, for a
+  // single tile, bit-identical to the pre-tile engine.  Cross-tile
+  // interference comes through three shared channels with different
+  // fidelities: cache/prefetcher CONTENT interference (exact — later tiles
+  // see exactly what earlier tiles left in L2/L3), the DMA bus (exact —
+  // explicit per-command windows arbitrated across tiles wherever their
+  // simulated cycles overlap), and L2/L3/DRAM port slots (approximate —
+  // the bandwidth-pool rings hold a bounded window of booked buckets, so
+  // an earlier tile's bookings are visible to a later tile only within the
+  // ring's trailing window; contention beyond it is understated).  A
+  // byte-exact port model across tiles would need per-cycle occupancy for
+  // the whole run, which the single-tile fast path deliberately avoids.
+  const std::size_t n = programs.size();
+  std::vector<RunResult> results(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    programs[i]->reset();
+    results[i] = tiles_[i]->core().run(*programs[i]);
+  }
 
   RunReport report;
-  report.core = core_.run(program);
-  report.activity = collect_activity(report.core);
-  report.energy = energy_model_.compute(report.activity);
 
-  report.amat = report.core.amat();
-  const auto& l1s = hierarchy_.l1d().stats();
-  report.l1_hit_ratio = 100.0 * safe_ratio(l1s.value("hits"), l1s.value("lookups"));
-  report.l1_accesses = report.activity.l1_activity;
-  report.l2_accesses = report.activity.l2_activity;
-  report.l3_accesses = report.activity.l3_activity;
-  report.lm_accesses = report.activity.lm_accesses;
-  report.directory_accesses = report.activity.dir_lookups + report.activity.dir_updates;
+  // Aggregate core result: the end-of-stream barrier makes the run as slow
+  // as its slowest tile; instruction counts sum; the load-latency
+  // accumulators merge exactly (a single tile's accumulator is copied).
+  RunResult& agg = report.core;
+  for (const RunResult& r : results) {
+    agg.cycles = std::max(agg.cycles, r.cycles);
+    for (unsigned p = 0; p < kNumPhases; ++p) agg.phase_cycles[p] += r.phase_cycles[p];
+    agg.uops += r.uops;
+    agg.loads += r.loads;
+    agg.stores += r.stores;
+    agg.guarded_loads += r.guarded_loads;
+    agg.guarded_stores += r.guarded_stores;
+    agg.value_mismatches += r.value_mismatches;
+    if (r.load_latency.count() == 0) continue;
+    if (agg.load_latency.count() == 0) {
+      agg.load_latency = r.load_latency;
+    } else {
+      agg.load_latency.restore(agg.load_latency.count() + r.load_latency.count(),
+                               agg.load_latency.sum() + r.load_latency.sum(),
+                               std::min(agg.load_latency.min(), r.load_latency.min()),
+                               std::max(agg.load_latency.max(), r.load_latency.max()));
+    }
+  }
+
+  // Per-tile private activity (summed into the aggregate) + per-tile
+  // report sections.
+  ActivityCounts total;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_lookups = 0;
+  report.tiles.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ActivityCounts ta = tiles_[i]->collect_private_activity(results[i]);
+
+    TileReport& t = report.tiles[i];
+    t.cycles = results[i].cycles;
+    t.uops = results[i].uops;
+    t.loads = results[i].loads;
+    t.stores = results[i].stores;
+    t.l1_accesses = ta.l1_activity;
+    t.lm_accesses = ta.lm_accesses;
+    t.directory_accesses = ta.dir_lookups + ta.dir_updates;
+    t.dma_lines = ta.dma_lines;
+    {
+      // Tile-private energy share: the tile's own structures and initiated
+      // traffic, without the shared levels (those are machine-wide and
+      // appear only in the aggregate breakdown).
+      ActivityCounts pa = ta;
+      pa.l1_size = cfg_.hierarchy.l1d.size;
+      pa.has_lm = cfg_.has_lm();
+      pa.has_directory = cfg_.has_directory_hardware();
+      t.energy = energy_model_.compute(pa).total();
+    }
+
+    total.l1_activity += ta.l1_activity;
+    total.lm_accesses += ta.lm_accesses;
+    total.dir_lookups += ta.dir_lookups;
+    total.dir_updates += ta.dir_updates;
+    total.fetch_groups += ta.fetch_groups;
+    total.uops += ta.uops;
+    total.regfile_reads += ta.regfile_reads;
+    total.regfile_writes += ta.regfile_writes;
+    total.int_ops += ta.int_ops;
+    total.fp_ops += ta.fp_ops;
+    total.branches += ta.branches;
+    total.mem_uops += ta.mem_uops;
+    total.replay_uops += ta.replay_uops;
+    total.flushed_slots += ta.flushed_slots;
+    total.prefetch_trainings += ta.prefetch_trainings;
+    total.prefetch_issues += ta.prefetch_issues;
+    total.dma_lines += ta.dma_lines;
+    total.bus_transfers += ta.bus_transfers;
+
+    const StatGroup& l1s = tiles_[i]->hierarchy().l1d().stats();
+    l1_hits += l1s.value("hits");
+    l1_lookups += l1s.value("lookups");
+  }
+
+  // Shared uncore activity, counted once.
+  total.l2_activity = MemoryHierarchy::total_activity(uncore_.l2());
+  total.l3_activity = MemoryHierarchy::total_activity(uncore_.l3());
+  total.mem_accesses = uncore_.memory().stats().value("accesses");
+  total.prefetch_trainings += uncore_.pf_l2().stats().value("trainings") +
+                              uncore_.pf_l3().stats().value("trainings");
+  total.prefetch_issues += uncore_.pf_l2().stats().value("prefetches_issued") +
+                           uncore_.pf_l3().stats().value("prefetches_issued");
+
+  total.cycles = agg.cycles;
+  total.l1_size = cfg_.hierarchy.l1d.size;
+  total.has_lm = cfg_.has_lm();
+  // The oracle baseline models an incoherent machine without directory
+  // hardware: no directory energy is charged (§4.2).
+  total.has_directory = cfg_.has_directory_hardware();
+
+  report.activity = total;
+  report.energy = energy_model_.compute(total);
+
+  report.amat = agg.amat();
+  report.l1_hit_ratio = 100.0 * safe_ratio(l1_hits, l1_lookups);
+  report.l1_accesses = total.l1_activity;
+  report.l2_accesses = total.l2_activity;
+  report.l3_accesses = total.l3_activity;
+  report.lm_accesses = total.lm_accesses;
+  report.directory_accesses = total.dir_lookups + total.dir_updates;
   return report;
 }
 

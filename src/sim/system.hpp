@@ -1,27 +1,46 @@
-// Top-level simulated system: one core plus its memory subsystem, wired per
+// Top-level simulated system: N tiles (core + L1 + LM + DMAC + coherence
+// directory each) over a shared uncore (L2/L3, DRAM, DMA bus), wired per
 // MachineConfig, with run-level reporting (activity, AMAT, energy breakdown,
-// phase cycles) — everything the paper's tables and figures consume.
+// phase cycles) — everything the paper's tables, figures and the scaling
+// experiments consume.
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <vector>
 
-#include "coherence/directory.hpp"
 #include "common/byte_store.hpp"
 #include "core/isa.hpp"
-#include "core/ooo_core.hpp"
 #include "energy/energy.hpp"
-#include "lm/dmac.hpp"
-#include "lm/local_memory.hpp"
-#include "memory/hierarchy.hpp"
+#include "memory/uncore.hpp"
 #include "sim/machine.hpp"
+#include "sim/tile.hpp"
 
 namespace hm {
 
-/// Everything measured in one run; the inputs to Table 3 and Figs. 7-10.
+/// Per-tile section of a run: one entry per tile that executed a program.
+/// The activity figures are the tile-private share (core pipeline, L1, LM,
+/// directory, DMAC, initiated bus traffic); shared-uncore activity is
+/// reported once in the aggregate.
+struct TileReport {
+  Cycle cycles = 0;
+  std::uint64_t uops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t lm_accesses = 0;
+  std::uint64_t directory_accesses = 0;
+  std::uint64_t dma_lines = 0;
+  PicoJoule energy = 0.0;  ///< tile-private energy share (no shared levels)
+};
+
+/// Everything measured in one run; the inputs to Table 3, Figs. 7-10 and
+/// the scaling experiment.  On a multi-tile run the flat fields are the
+/// machine-wide aggregate — cycles is the barrier time (max over tiles),
+/// counts and energy are summed — and `tiles` carries the per-tile split.
+/// A single-tile run reports exactly the pre-tile numbers.
 struct RunReport {
-  RunResult core;               ///< cycles, phase split, uops, AMAT samples
-  EnergyBreakdown energy;       ///< Fig. 10 component split
+  RunResult core;               ///< aggregate: cycles = max, counts summed
+  EnergyBreakdown energy;       ///< Fig. 10 component split (machine-wide)
   ActivityCounts activity;      ///< raw counts fed to the energy model
 
   // Table 3 rows.
@@ -33,41 +52,57 @@ struct RunReport {
   std::uint64_t lm_accesses = 0;
   std::uint64_t directory_accesses = 0;
 
+  std::vector<TileReport> tiles;  ///< per-tile sections, tile order
+
   Cycle cycles() const { return core.cycles; }
   PicoJoule total_energy() const { return energy.total(); }
+  /// Barrier time of the run — identical to cycles(), named for the
+  /// scaling tables ("max-tile cycles").
+  Cycle max_tile_cycles() const { return core.cycles; }
 };
 
 class System {
  public:
-  explicit System(MachineConfig cfg);
+  /// Build an @p n_cores-tile machine (>= 1).  Tile 0 of a 1-core system is
+  /// wired exactly like the historical single-core System.
+  explicit System(MachineConfig cfg, unsigned n_cores = 1);
 
-  /// Run @p program to completion on a cold machine (caches, MSHRs,
-  /// predictors and DMA state reset; all statistics cleared).  The
-  /// functional memory image is preserved across runs — clear_image() starts
-  /// a fresh one.
+  /// Run @p program to completion on tile 0 of a cold machine (caches,
+  /// MSHRs, predictors and DMA state reset on every tile and in the uncore;
+  /// all statistics cleared).  The functional memory image is preserved
+  /// across runs — clear_image() starts a fresh one.
   RunReport run(InstrStream& program);
+
+  /// SPMD run: one program per tile (programs.size() <= num_tiles()), all
+  /// started cold at local cycle 0 with a barrier at the end of the stream
+  /// — the aggregate cycle count is the slowest tile.  Tiles execute in
+  /// tile order against the shared uncore, which is what makes the
+  /// contention (port slots, DMA bus windows) deterministic.
+  RunReport run(const std::vector<InstrStream*>& programs);
 
   ByteStore& image() { return image_; }
   void clear_image() { image_.clear(); }
 
-  MemoryHierarchy& hierarchy() { return hierarchy_; }
-  LocalMemory* lm() { return lm_ ? &*lm_ : nullptr; }
-  CoherenceDirectory* directory() { return directory_ ? &*directory_ : nullptr; }
-  DmaController* dmac() { return dmac_ ? &*dmac_ : nullptr; }
-  OooCore& core() { return core_; }
+  unsigned num_tiles() const { return static_cast<unsigned>(tiles_.size()); }
+  Tile& tile(unsigned i) { return *tiles_.at(i); }
+  Uncore& uncore() { return uncore_; }
+
+  // Tile-0 accessors, kept for the (large) single-core surface: tests,
+  // examples and the paper benches address "the" core/LM/directory.
+  MemoryHierarchy& hierarchy() { return tiles_.front()->hierarchy(); }
+  LocalMemory* lm() { return tiles_.front()->lm(); }
+  CoherenceDirectory* directory() { return tiles_.front()->directory(); }
+  DmaController* dmac() { return tiles_.front()->dmac(); }
+  OooCore& core() { return tiles_.front()->core(); }
   const MachineConfig& config() const { return cfg_; }
 
  private:
   void reset_timing_state();
-  ActivityCounts collect_activity(const RunResult& res) const;
 
   MachineConfig cfg_;
   ByteStore image_;
-  MemoryHierarchy hierarchy_;
-  std::optional<LocalMemory> lm_;
-  std::optional<CoherenceDirectory> directory_;
-  std::optional<DmaController> dmac_;
-  OooCore core_;
+  Uncore uncore_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
   EnergyModel energy_model_;
 };
 

@@ -1,0 +1,74 @@
+#include "sim/tile.hpp"
+
+namespace hm {
+
+Tile::Tile(const MachineConfig& cfg, Uncore& uncore, ByteStore* image)
+    : hierarchy_(cfg.hierarchy, uncore),
+      // std::in_place: the subsystems own StatGroups (immovable), so the
+      // optionals must construct their payloads in place rather than move.
+      lm_(cfg.has_lm() ? std::optional<LocalMemory>(std::in_place, cfg.lm) : std::nullopt),
+      // The oracle machine keeps a directory object: the DMAC updates it so
+      // the core's zero-cost peek can find the valid copy.  Only the
+      // HybridCoherent machine pays for it (energy/latency).
+      directory_(cfg.has_lm()
+                     ? std::optional<CoherenceDirectory>(std::in_place, cfg.directory)
+                     : std::nullopt),
+      dmac_(cfg.has_lm()
+                ? std::optional<DmaController>(std::in_place, cfg.dma, hierarchy_, *lm_,
+                                               directory_ ? &*directory_ : nullptr, image)
+                : std::nullopt),
+      core_(cfg.core, hierarchy_, lm_ ? &*lm_ : nullptr, directory_ ? &*directory_ : nullptr,
+            dmac_ ? &*dmac_ : nullptr, image) {}
+
+void Tile::reset() {
+  hierarchy_.reset();  // private side only; the System resets the uncore
+  if (dmac_) dmac_->reset();
+  core_.bpred().reset();
+
+  // Clear every tile-private statistic so each run reports its own
+  // activity (the uncore statistics are reset once by the System).
+  hierarchy_.stats().reset_all();
+  hierarchy_.l1d().stats().reset_all();
+  hierarchy_.mshr().stats().reset_all();
+  hierarchy_.pf_l1().stats().reset_all();
+  core_.stats().reset_all();
+  core_.bpred().stats().reset_all();
+  if (lm_) lm_->stats().reset_all();
+  if (directory_) directory_->stats().reset_all();
+  if (dmac_) dmac_->stats().reset_all();
+}
+
+ActivityCounts Tile::collect_private_activity(const RunResult& res) const {
+  ActivityCounts a;
+  a.l1_activity = MemoryHierarchy::total_activity(hierarchy_.l1d());
+  a.lm_accesses = lm_ ? lm_->stats().value("accesses") : 0;
+  a.dir_lookups = directory_ ? directory_->stats().value("lookups") : 0;
+  a.dir_updates = directory_ ? directory_->stats().value("updates") : 0;
+
+  const StatGroup& cs = core_.stats();
+  a.fetch_groups = cs.value("fetch_groups");
+  a.uops = res.uops;
+  a.regfile_reads = cs.value("regfile_reads");
+  a.regfile_writes = cs.value("regfile_writes");
+  a.int_ops = cs.value("int_ops");
+  a.fp_ops = cs.value("fp_ops");
+  a.branches = cs.value("branches");
+  a.mem_uops = cs.value("loads") + cs.value("stores");
+  a.replay_uops = cs.value("replay_uops");
+  a.flushed_slots = cs.value("flushed_slots");
+
+  a.prefetch_trainings = hierarchy_.pf_l1().stats().value("trainings");
+  a.prefetch_issues = hierarchy_.pf_l1().stats().value("prefetches_issued");
+  a.dma_lines = dmac_ ? dmac_->stats().value("lines") : 0;
+
+  // Uncore traffic is attributed to the initiating tile (the counters live
+  // in this tile's hierarchy StatGroup), so bus transfers are per-tile.
+  const StatGroup& hs = hierarchy_.stats();
+  a.bus_transfers = hs.value("bus_l1_l2") + hs.value("bus_l2_l3") + hs.value("bus_l3_mem") +
+                    hs.value("bus_dma");
+
+  a.cycles = res.cycles;
+  return a;
+}
+
+}  // namespace hm

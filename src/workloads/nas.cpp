@@ -1,6 +1,7 @@
 #include "workloads/nas.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace hm {
 
@@ -222,6 +223,32 @@ Workload make_sp(WorkloadScale scale) {
 std::vector<Workload> all_nas_workloads(WorkloadScale scale) {
   return {make_cg(scale), make_ep(scale), make_ft(scale),
           make_is(scale), make_mg(scale), make_sp(scale)};
+}
+
+Workload make_spmd_slice(const Workload& w, unsigned tile, unsigned n_tiles) {
+  if (n_tiles == 0 || tile >= n_tiles)
+    throw std::invalid_argument("make_spmd_slice: tile index out of range");
+  Workload slice = w;
+  if (n_tiles == 1) return slice;
+
+  // Balanced iteration slice: floor(I/N) everywhere, remainder to the first
+  // tiles — tile 0 is always a longest tile, so max-tile work is
+  // monotonically non-increasing in the tile count, and the slices sum to
+  // exactly I.  With more tiles than iterations the trailing tiles receive
+  // zero iterations (the caller runs nothing there): the partition never
+  // fabricates extra work.
+  const std::uint64_t iters = w.loop.iterations;
+  const std::uint64_t base = iters / n_tiles;
+  const std::uint64_t rem = iters % n_tiles;
+  slice.loop.iterations = base + (tile < rem ? 1 : 0);
+
+  // Block-distributed private arrays: 64 GB per tile keeps every shifted
+  // base aligned to kArrayAlign (and thus to any LM buffer size) and the
+  // regions disjoint across tiles, well below the LM virtual range.
+  constexpr Addr kTileRegionStride = 0x10'0000'0000ull;
+  const Addr offset = static_cast<Addr>(tile) * kTileRegionStride;
+  for (ArrayDecl& a : slice.loop.arrays) a.base += offset;
+  return slice;
 }
 
 }  // namespace hm

@@ -57,4 +57,17 @@ Workload make_sp(WorkloadScale scale = {});
 /// All six, in the paper's order.
 std::vector<Workload> all_nas_workloads(WorkloadScale scale = {});
 
+/// SPMD partition of a kernel for the tile-based multicore (strong
+/// scaling): tile @p tile of @p n_tiles receives a balanced slice of the
+/// iterations (earlier tiles absorb the remainder; slices sum to exactly
+/// the original count, so a slice may be empty when tiles outnumber
+/// iterations — run nothing on that tile) and a block-distributed private
+/// copy of the arrays — every array base is shifted into a tile-private
+/// 64 GB region, which keeps chunk bases aligned to any LM buffer size and
+/// the tiles' SM footprints disjoint.  Irregular address streams are
+/// decorrelated per tile through the codegen global seed, not here.
+/// `make_spmd_slice(w, 0, 1)` returns @p w unchanged, so a one-tile
+/// "partition" replays the exact single-core address stream.
+Workload make_spmd_slice(const Workload& w, unsigned tile, unsigned n_tiles);
+
 }  // namespace hm

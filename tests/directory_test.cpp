@@ -148,6 +148,57 @@ TEST_P(DirectoryBufferSweep, ExactChunkCoverage) {
 INSTANTIATE_TEST_SUITE_P(BufferSizes, DirectoryBufferSweep,
                          ::testing::Values(1024, 2048, 4096, 8192, 16384, 32768));
 
+// Mid-run re-programming: a dir.config while mappings are live (a new
+// transformed loop starting with a different buffer size) must drop every
+// entry, switch the masks to the new geometry, and keep the statistics
+// accumulating (configure is not a statistics reset).
+TEST_F(DirectoryTest, ConfigureReprogramsGeometryMidRun) {
+  dir_.map(0x10'0000, kLmBase, 0);
+  dir_.map(0x20'0000, kLmBase + 1024, 0);
+  ASSERT_TRUE(dir_.lookup(0x10'0000 + 8, 10).hit);
+  const auto lookups_before = dir_.stats().value("lookups");
+  const auto updates_before = dir_.stats().value("updates");
+
+  dir_.configure(4096, kLmBase, kLmSize);
+  EXPECT_EQ(dir_.buffer_size(), 4096u);
+  // Old mappings are gone under the new geometry.
+  EXPECT_FALSE(dir_.lookup(0x10'0000 + 8, 20).hit);
+  EXPECT_FALSE(dir_.is_mapped(0x20'0000));
+
+  // New-geometry mapping: 4 KB chunks divert across the whole chunk, and
+  // the old 1 KB boundary no longer ends the hit range.
+  dir_.map(0x40'0000, kLmBase, 0);
+  EXPECT_TRUE(dir_.lookup(0x40'0000 + 2048, 30).hit);
+  EXPECT_EQ(dir_.lookup(0x40'0000 + 2048, 30).address, kLmBase + 2048);
+  EXPECT_FALSE(dir_.lookup(0x40'0000 + 4096, 30).hit);
+  // The old buffer-size alignment is now rejected for map().
+  EXPECT_THROW(dir_.map(0x50'0400, kLmBase, 0), std::invalid_argument);
+
+  // Statistics kept accumulating across the re-program.
+  EXPECT_GT(dir_.stats().value("lookups"), lookups_before);
+  EXPECT_GT(dir_.stats().value("updates"), updates_before);
+}
+
+// unmap() of a buffer whose entry holds no mapping is a harmless no-op
+// (explicit teardown may race a never-filled buffer); unmap() outside the
+// LM — or before configure — is a programming error and throws.
+TEST_F(DirectoryTest, UnmapOfNonResidentBufferIsANoOp) {
+  EXPECT_NO_THROW(dir_.unmap(kLmBase + 2048));  // empty entry
+  dir_.map(0x10'0000, kLmBase, 0);
+  dir_.unmap(kLmBase + 1024);  // different (empty) buffer: mapping survives
+  EXPECT_TRUE(dir_.lookup(0x10'0000 + 4, 10).hit);
+  dir_.unmap(kLmBase);
+  EXPECT_FALSE(dir_.lookup(0x10'0000 + 4, 10).hit);
+  EXPECT_NO_THROW(dir_.unmap(kLmBase));  // already unmapped: still a no-op
+  EXPECT_THROW(dir_.unmap(kLmBase + kLmSize), std::out_of_range);
+  EXPECT_THROW(dir_.unmap(0x1000), std::out_of_range);
+}
+
+TEST(Directory, UnmapBeforeConfigureThrows) {
+  CoherenceDirectory dir;
+  EXPECT_THROW(dir.unmap(kLmBase), std::logic_error);
+}
+
 // Full-capacity CAM: all 32 entries usable simultaneously.
 TEST(Directory, AllEntriesUsable) {
   CoherenceDirectory dir(DirectoryConfig{.entries = 32});

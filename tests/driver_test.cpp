@@ -329,12 +329,51 @@ TEST(Registry, BuiltinsAndPaperExperimentsAreRegistered) {
   EXPECT_THROW(make_machine("nonexistent"), std::out_of_range);
   EXPECT_THROW(make_workload("nonexistent", {}), std::out_of_range);
 
-  ASSERT_GE(all_experiments().size(), 9u);
+  ASSERT_GE(all_experiments().size(), 10u);
   for (const char* name :
        {"table1", "fig7", "fig8", "fig9", "fig10", "table3", "ablation_directory",
-        "ablation_double_store", "ablation_prefetch"})
+        "ablation_double_store", "ablation_prefetch", "scaling"})
     EXPECT_NE(find_experiment(name), nullptr) << name;
   EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+}
+
+TEST(Registry, ScalingSpecElidesTheDefaultCoreCount) {
+  const ExperimentSpec* scaling = find_experiment("scaling");
+  ASSERT_NE(scaling, nullptr);
+  const auto pts = expand(*scaling);
+  ASSERT_FALSE(pts.empty());
+  std::size_t single_core = 0;
+  for (const SweepPoint& p : pts) {
+    if (p.knobs.find("cores") == p.knobs.end()) {
+      // cores=1 is the canonical default: elided from the identity, so the
+      // point dedups with the single-core runs of the paper experiments.
+      EXPECT_EQ(p.knob("cores"), "1");
+      EXPECT_EQ(p.canonical().find("cores="), std::string::npos);
+      ++single_core;
+    }
+  }
+  // One single-core point per (workload, machine) pair.
+  EXPECT_EQ(single_core, 12u);
+}
+
+TEST(Sweep, MulticorePointsAreByteStableAcrossJobCounts) {
+  ExperimentSpec s;
+  s.name = "test_cores";
+  s.title = "cores-axis determinism probe";
+  s.scale = 0.05;
+  Grid g;
+  g.base = {{"machine", "hybrid_coherent"}, {"workload", "EP"}};
+  g.axes = {{"cores", {"1", "2", "4"}}};
+  s.grids = {g};
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 3;
+  const std::string a = sweep_json(s, serial);
+  const std::string b = sweep_json(s, parallel);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(a.find("\"n_tiles\":4"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+// The tile refactor's correctness anchor: a 1-core system must reproduce
+// the pre-refactor paper tables byte-for-byte.  tests/golden/<name>.txt
+// holds every registered paper experiment's rendered table, captured from
+// the pre-tile engine at workload scale 0.05; each test re-renders the
+// experiment and compares bytes.
+//
+// If an intentional engine change alters simulated metrics, regenerate the
+// goldens (hm_sweep --filter <name> --scale 0.05 --no-cache --quiet) and
+// bump hm::kEngineVersion in the same commit.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/experiment.hpp"
+#include "driver/sweep.hpp"
+
+namespace {
+
+using namespace hm::driver;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class PaperGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperGolden, SingleCoreTableIsByteIdenticalToPreTileEngine) {
+  const ExperimentSpec* spec = find_experiment(GetParam());
+  ASSERT_NE(spec, nullptr) << GetParam();
+
+  SweepOptions opt;
+  opt.jobs = 2;  // parallel == serial is separately enforced by driver_test
+  opt.scale_override = 0.05;
+  const SweepOutcome out = run_sweep(*spec, opt);
+  EXPECT_EQ(out.failures, 0u);
+
+  const std::string want =
+      read_file(std::string(HM_SOURCE_DIR) + "/tests/golden/" + GetParam() + ".txt");
+  ASSERT_FALSE(want.empty()) << "missing golden file for " << GetParam();
+  EXPECT_EQ(render(out), want) << GetParam() << " table drifted from the pre-tile engine";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGolden,
+                         ::testing::Values("table1", "fig7", "fig8", "fig9", "fig10",
+                                           "table3", "ablation_directory",
+                                           "ablation_double_store", "ablation_prefetch"));
+
+}  // namespace

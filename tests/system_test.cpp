@@ -49,6 +49,31 @@ TEST(System, RunsAreIsolated) {
   EXPECT_EQ(r1.activity.mem_accesses, r2.activity.mem_accesses);
 }
 
+TEST(System, RepeatedRunsSerializeToIdenticalReports) {
+  // Cold-machine guarantee, field-complete: the same program run twice must
+  // produce byte-identical serialized RunReports — any statistic, pool or
+  // per-tile structure that survives a run would show up here.
+  System sys(MachineConfig::hybrid_coherent());
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 32; ++i) {
+    ops.push_back(VecStream::load(0x10'0000 + 0x840 * i, 1));
+    ops.push_back(VecStream::store(0x20'0000 + 0x840 * i, 1));
+    ops.push_back(VecStream::branch(i % 3 == 0, 0x500 + 8 * (i % 5)));
+  }
+  ops.push_back(VecStream::dir_config(1024));
+  ops.push_back(VecStream::dma_get(0x40'0000, MachineConfig::hybrid_coherent().lm.virtual_base,
+                                   1024, 1));
+  ops.push_back(VecStream::dma_synch(0x2));
+  ops.push_back(VecStream::gload(0x40'0010, 2));
+  VecStream prog(ops);
+
+  std::string first;
+  append_report_fields(first, sys.run(prog));
+  std::string second;
+  append_report_fields(second, sys.run(prog));
+  EXPECT_EQ(first, second);
+}
+
 TEST(System, ImagePersistsAcrossRunsUntilCleared) {
   System sys(MachineConfig::hybrid_coherent());
   MicroOp st = VecStream::store(0x4000, 0);

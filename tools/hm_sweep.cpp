@@ -1,11 +1,14 @@
 // hm_sweep — unified driver for the paper-reproduction experiment suite.
 //
 //   hm_sweep list                         what can run, and how many points
+//                                         (--format json: machine-readable
+//                                         experiment inventory for scripting)
 //   hm_sweep [run] [flags]                run experiments (default: all)
 //     --filter SUBSTR     only experiments whose name contains SUBSTR
 //     --jobs N|auto       worker threads (default auto = all cores)
 //     --format table|json|csv             stdout format (default table)
 //     --out DIR           also write DIR/<name>.json and DIR/<name>.csv
+//                         (missing parent directories are created)
 //     --cache-dir DIR     on-disk memo cache (default .hm_sweep_cache)
 //     --no-cache          disable the on-disk memo cache
 //     --scale F           override every spec's workload scale (quick looks;
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "driver/experiment.hpp"
+#include "driver/registry.hpp"
 #include "driver/result.hpp"
 #include "driver/scheduler.hpp"
 #include "driver/sweep.hpp"
@@ -144,9 +148,53 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
+  // Create missing parent directories instead of failing — --out may name a
+  // nested results path that does not exist yet (or was removed mid-run).
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
   std::ofstream out(path, std::ios::trunc);
   out << content;
   return static_cast<bool>(out);
+}
+
+/// Machine-readable inventory for `list --format json`: one object per
+/// selected experiment, with the registered machines/workloads appended so
+/// scripts can discover the whole axis space from one call.
+std::string list_json(const std::vector<const ExperimentSpec*>& selected) {
+  std::string out = "{\n\"experiments\":[\n";
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const ExperimentSpec* spec = selected[i];
+    out += "{\"name\":\"";
+    append_json_escaped(out, spec->name);
+    out += "\",\"points\":" + std::to_string(expand(*spec).size());
+    out += ",\"scale\":";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", spec->scale);
+    out += buf;
+    out += ",\"artifact\":\"";
+    append_json_escaped(out, spec->artifact);
+    out += "\",\"title\":\"";
+    append_json_escaped(out, spec->title);
+    out += "\"}";
+    if (i + 1 < selected.size()) out += ',';
+    out += '\n';
+  }
+  out += "],\n\"machines\":[";
+  const auto names = [&](const std::vector<std::string>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out += '"';
+      append_json_escaped(out, v[i]);
+      out += '"';
+      if (i + 1 < v.size()) out += ',';
+    }
+  };
+  names(machine_names());
+  out += "],\n\"workloads\":[";
+  names(workload_names());
+  out += "]\n}\n";
+  return out;
 }
 
 }  // namespace
@@ -161,10 +209,17 @@ int main(int argc, char** argv) {
       selected.push_back(spec);
 
   if (opt.list) {
-    std::printf("%-24s %7s  %-12s %s\n", "experiment", "points", "artifact", "title");
-    for (const ExperimentSpec* spec : selected)
-      std::printf("%-24s %7zu  %-12s %s\n", spec->name.c_str(), expand(*spec).size(),
-                  spec->artifact.c_str(), spec->title.c_str());
+    if (opt.format == "json") {
+      std::fputs(list_json(selected).c_str(), stdout);
+    } else if (opt.format == "csv") {
+      std::fprintf(stderr, "list supports --format table|json\n");
+      return 2;
+    } else {
+      std::printf("%-24s %7s  %-12s %s\n", "experiment", "points", "artifact", "title");
+      for (const ExperimentSpec* spec : selected)
+        std::printf("%-24s %7zu  %-12s %s\n", spec->name.c_str(), expand(*spec).size(),
+                    spec->artifact.c_str(), spec->title.c_str());
+    }
     return 0;
   }
   if (selected.empty()) {
