@@ -1,0 +1,20 @@
+#include "common/occupancy.hpp"
+
+#include "common/log.hpp"
+
+namespace hm {
+
+void SharedResource::warn_overflow() const {
+  // One-shot: a grant beyond the tracked horizon is the only case where
+  // contention is understated (the request is served as if the resource
+  // were free).  The paper-table and scaling flows assert the overflow
+  // counters are zero, so this firing means a run outgrew max_buckets() —
+  // raise the horizon rather than trusting the affected numbers.
+  HM_WARN("occupancy: resource '" << name_ << "' (gap " << timeline_.gap()
+                                  << ") booked beyond the tracked horizon of "
+                                  << OccupancyTimeline::max_buckets()
+                                  << " buckets; contention is understated and "
+                                     "counted in its 'overflows' statistic");
+}
+
+}  // namespace hm

@@ -193,11 +193,19 @@ std::optional<PointResult> point_from_json(std::string_view text) {
 }
 
 std::string csv_header() {
-  return "experiment,index,label,machine,workload,knobs,scale,seed,ok,error,"
-         "mapped_refs,demoted_refs,cycles,work_cycles,control_cycles,synch_cycles,"
-         "uops,amat,l1_hit_pct,l1_accesses,l2_accesses,l3_accesses,lm_accesses,"
-         "directory_accesses,energy_cpu_pj,energy_caches_pj,energy_lm_pj,"
-         "energy_others_pj,energy_total_pj\n";
+  std::string h =
+      "experiment,index,label,machine,workload,knobs,scale,seed,ok,error,"
+      "mapped_refs,demoted_refs,cycles,work_cycles,control_cycles,synch_cycles,"
+      "uops,amat,l1_hit_pct,l1_accesses,l2_accesses,l3_accesses,lm_accesses,"
+      "directory_accesses,energy_cpu_pj,energy_caches_pj,energy_lm_pj,"
+      "energy_others_pj,energy_total_pj";
+  // Shared-resource contention columns (full-run occupancy model).
+  for (const char* res : {"l2_port", "l3_port", "dram", "dma_bus"})
+    for (const char* field : {"requests", "delayed", "queue_cycles",
+                              "peak_occupancy", "overflows"})
+      h += std::string(",") + res + "_" + field;
+  h += '\n';
+  return h;
 }
 
 std::string csv_row(const PointResult& r) {
@@ -241,9 +249,19 @@ std::string csv_row(const PointResult& r) {
                 static_cast<unsigned long long>(rep.lm_accesses),
                 static_cast<unsigned long long>(rep.directory_accesses));
   out += buf;
-  std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g,%.17g,%.17g\n", rep.energy.cpu,
+  std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%.17g,%.17g,%.17g", rep.energy.cpu,
                 rep.energy.caches, rep.energy.lm, rep.energy.others, rep.energy.total());
   out += buf;
+  for (const ResourceContention* c : {&rep.l2_port, &rep.l3_port, &rep.dram, &rep.dma_bus}) {
+    std::snprintf(buf, sizeof(buf), ",%llu,%llu,%llu,%llu,%llu",
+                  static_cast<unsigned long long>(c->requests),
+                  static_cast<unsigned long long>(c->delayed),
+                  static_cast<unsigned long long>(c->queue_cycles),
+                  static_cast<unsigned long long>(c->peak_occupancy),
+                  static_cast<unsigned long long>(c->overflows));
+    out += buf;
+  }
+  out += '\n';
   return out;
 }
 

@@ -122,7 +122,20 @@ PointResult run_point(const SweepPoint& p) {
     }
   }
   // An empty workload (config-only point) is legal and returns a zero report.
-  out.ok = true;
+  //
+  // Occupancy-horizon guard: a run whose bookings fell past the tracked
+  // horizon has UNDERSTATED contention, so its numbers must never flow
+  // silently into a table, the memo cache or a downstream script — fail the
+  // point instead (failure isolation surfaces it per point and exits
+  // non-zero).  This is the driver-level half of the guarantee; the unit
+  // and golden tests assert the counters directly.
+  if (p.workload.empty() || out.report.contention_overflows() == 0) {
+    out.ok = true;
+  } else {
+    out.error = "occupancy horizon overflow (" +
+                std::to_string(out.report.contention_overflows()) +
+                " bookings untracked; contention understated) at " + p.label;
+  }
   return out;
 }
 

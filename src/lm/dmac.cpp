@@ -43,8 +43,10 @@ Cycle DmaController::get(Cycle now, Addr sm_src, Addr lm_dst, Bytes size, unsign
   // sustaining one line per `per_line` cycles.  The shared DMA bus grants
   // the command a window for the interval the transfer actually streams —
   // from when both the MMIO command and the engine are ready — so
-  // arbitration across tiles blocks exactly the busy span.  With one tile
-  // the grant never delays (start == max(queued, engine_free_)).
+  // arbitration across tiles blocks exactly the busy span.  The bus books
+  // that span on the uncore's full-run occupancy timeline; with one tile
+  // the span is always free and the grant never delays (start ==
+  // max(queued, engine_free_)).
   const Cycle queued = now + cfg_.startup;
   const Cycle start = hierarchy_.dma_bus_grant(std::max(queued, engine_free_),
                                                nlines * cfg_.per_line);

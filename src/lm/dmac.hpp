@@ -11,8 +11,19 @@
 //    invalidation to every tile's L1.
 //
 // On the tile-based machine each tile owns a DMAC; commands are granted a
-// window on the shared DMA bus first (fixed-priority arbitration across
-// tiles, a no-op with a single tile).
+// window on the shared DMA bus first.  The bus is a gap-1 full-run
+// occupancy timeline (common/occupancy.hpp): each command books the whole
+// interval it streams for, pushed past any window already booked — by any
+// tile, at any earlier point of the run.  Tiles execute in fixed order, so
+// lower tile ids book first and win the bus (fixed-priority arbitration).
+// The bus is exclusive even against its own port: back-to-back commands
+// whose windows would overlap serialize.  With per_line <= the minimum
+// first-line latency (true of every shipped config: per_line 1..2, L1
+// latency 2) a port's engine_free_ serialization already keeps its windows
+// disjoint, so single-core grants always equal their ready cycle — the
+// pre-occupancy arbiter's behavior; a config with a larger per_line would
+// additionally charge the (physical) self-serialization the old
+// windows-of-other-ports-only arbiter ignored.
 //
 // The DMAC is also the component that updates the coherence directory: every
 // dma-get maps (source SM base -> destination LM buffer) and the Presence

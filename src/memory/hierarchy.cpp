@@ -12,9 +12,12 @@ namespace hm {
 //    while no intervening operation mutated that same cache — the code below
 //    is ordered so lower-level traffic (L3, memory) happens between an upper
 //    level's lookup and its fill, never another mutation of the same level.
-//  * The steady-state access path performs zero heap allocations: prefetcher
-//    candidate lists are SmallVec, MSHR/WCB/bandwidth structures are
-//    fixed-size, and all statistics counters are pre-registered.
+//  * The steady-state access path performs no per-access heap allocations:
+//    prefetcher candidate lists are SmallVec, MSHR/WCB structures are
+//    fixed-size, and all statistics counters are pre-registered.  The only
+//    allocation source left is the full-run occupancy timelines growing a
+//    chunk as simulated time advances — amortized one slab per ~65k busy
+//    port cycles (tests/alloc_test.cpp bounds it against elapsed time).
 
 MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg)
     : MemoryHierarchy(std::move(cfg), static_cast<Uncore*>(nullptr)) {}
@@ -26,7 +29,6 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, Uncore* shared)
     : cfg_(std::move(cfg)),
       owned_uncore_(shared != nullptr ? nullptr : std::make_unique<Uncore>(cfg_)),
       uncore_(shared != nullptr ? *shared : *owned_uncore_),
-      port_(0),
       l1d_(cfg_.l1d),
       mshr_("L1_MSHR", cfg_.mshr),
       pf_l1_("PF_L1", cfg_.pf_l1, cfg_.l1d.line_size),
@@ -35,10 +37,10 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, Uncore* shared)
       mem_(uncore_.memory()),
       pf_l2_(uncore_.pf_l2()),
       pf_l3_(uncore_.pf_l3()),
-      l2_pool_(uncore_.l2_pool()),
-      l3_pool_(uncore_.l3_pool()),
+      l2_port_(uncore_.l2_port()),
+      l3_port_(uncore_.l3_port()),
       stats_("hierarchy") {
-  port_ = uncore_.register_l1(&l1d_);
+  uncore_.register_l1(&l1d_);
   stats_.bind("loads", &hot_.loads);
   stats_.bind("stores", &hot_.stores);
   stats_.bind("writethrough_traffic", &hot_.writethrough_traffic);
@@ -64,13 +66,13 @@ void MemoryHierarchy::commit(const Scratch& sc) {
 }
 
 Cycle MemoryHierarchy::book_l2(Cycle when, Scratch& sc) {
-  const Cycle start = l2_pool_.book(when);
+  const Cycle start = l2_port_.book(when);
   if (start > when) sc.l2_queue += start - when;
   return start;
 }
 
 Cycle MemoryHierarchy::book_l3(Cycle when, Scratch& sc) {
-  const Cycle start = l3_pool_.book(when);
+  const Cycle start = l3_port_.book(when);
   if (start > when) sc.l3_queue += start - when;
   return start;
 }

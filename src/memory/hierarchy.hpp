@@ -32,7 +32,7 @@
 #include <memory>
 #include <string>
 
-#include "common/bandwidth.hpp"
+#include "common/occupancy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "memory/cache.hpp"
@@ -58,7 +58,7 @@ class MemoryHierarchy {
 
   /// One tile's private side over a shared @p uncore (which must outlive
   /// this object).  The tile's L1 is registered with the uncore for
-  /// dma-put invalidation broadcasts and DMA bus arbitration.
+  /// dma-put invalidation broadcasts.
   MemoryHierarchy(HierarchyConfig cfg, Uncore& uncore);
 
   // stats_ holds pointers to the inline hot_ counters below (and the member
@@ -85,7 +85,7 @@ class MemoryHierarchy {
   /// cycles from @p ready (see Uncore::dma_bus_grant).  Equals @p ready on
   /// a single-tile machine.
   Cycle dma_bus_grant(Cycle ready, Cycle len) {
-    return uncore_.dma_bus_grant(port_, ready, len);
+    return uncore_.dma_bus_grant(ready, len);
   }
 
   /// Drop all cache contents and in-flight state.  A standalone hierarchy
@@ -99,7 +99,6 @@ class MemoryHierarchy {
 
   Uncore& uncore() { return uncore_; }
   const Uncore& uncore() const { return uncore_; }
-  unsigned port() const { return port_; }
 
   SetAssocCache& l1d() { return l1d_; }
   SetAssocCache& l2() { return uncore_.l2(); }
@@ -165,8 +164,9 @@ class MemoryHierarchy {
                       Scratch& sc);
 
   /// Book one L2 (resp. L3) port slot at or after @p when; returns the start
-  /// cycle.  Models finite cache bandwidth — the pool is shared across all
-  /// tiles of the machine (uncore port arbitration).
+  /// cycle.  Models finite cache bandwidth — the port resource is shared
+  /// across all tiles of the machine (uncore port arbitration) and booked
+  /// over the full run, so cross-tile contention never falls off a window.
   Cycle book_l2(Cycle when, Scratch& sc);
   Cycle book_l3(Cycle when, Scratch& sc);
 
@@ -183,7 +183,6 @@ class MemoryHierarchy {
   /// Non-null only for the standalone constructor; uncore_ points at it.
   std::unique_ptr<Uncore> owned_uncore_;
   Uncore& uncore_;
-  unsigned port_;  ///< this tile's uncore port id (DMA bus arbitration)
   SetAssocCache l1d_;
   Mshr mshr_;
   StreamPrefetcher pf_l1_;
@@ -194,8 +193,8 @@ class MemoryHierarchy {
   MainMemory& mem_;
   StreamPrefetcher& pf_l2_;
   StreamPrefetcher& pf_l3_;
-  BandwidthPool& l2_pool_;
-  BandwidthPool& l3_pool_;
+  SharedResource& l2_port_;
+  SharedResource& l3_port_;
   struct WcbEntry {
     Addr line = kNoAddr;
     Cycle drain = 0;

@@ -4,7 +4,7 @@
 
 #include <string>
 
-#include "common/bandwidth.hpp"
+#include "common/occupancy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -18,37 +18,41 @@ struct MainMemoryConfig {
 class MainMemory {
  public:
   explicit MainMemory(MainMemoryConfig cfg = {})
-      : cfg_(cfg), pool_(cfg.gap), stats_("main_memory"),
+      : cfg_(cfg), port_("dram", cfg.gap), stats_("main_memory"),
         accesses_(&stats_.counter("accesses")),
         reads_(&stats_.counter("reads")),
-        writes_(&stats_.counter("writes")),
-        queue_cycles_(&stats_.counter("queue_cycles")) {}
+        writes_(&stats_.counter("writes")) {
+    // The channel's contention statistics ARE the DRAM queueing statistics;
+    // "queue_cycles" keeps its historical name, the rest are new fields.
+    port_.bind_into(stats_, "");
+  }
 
   /// Access at cycle @p now; returns completion cycle.  Bank-level
-  /// parallelism is approximated by a bandwidth pool: one request may start
-  /// per `gap` cycles, with out-of-order slot filling.
+  /// parallelism is approximated by the shared channel resource: one
+  /// request may start per `gap` cycles, booked over the full run with
+  /// out-of-order slot filling (on a multi-tile machine every tile books
+  /// against the same timeline, so cross-tile DRAM contention is exact).
   Cycle access(Cycle now, AccessType type) {
     accesses_->inc();
     (type == AccessType::Read ? reads_ : writes_)->inc();
-    const Cycle start = pool_.book(now);
-    if (start > now) queue_cycles_->inc(start - now);
-    return start + cfg_.latency;
+    return port_.book(now) + cfg_.latency;
   }
 
-  void reset(Cycle now = 0) { (void)now; pool_.reset(); }
+  void reset(Cycle now = 0) { (void)now; port_.reset(); }
 
   const MainMemoryConfig& config() const { return cfg_; }
+  SharedResource& port() { return port_; }
+  const SharedResource& port() const { return port_; }
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }
 
  private:
   MainMemoryConfig cfg_;
-  BandwidthPool pool_;
+  SharedResource port_;
   StatGroup stats_;
   Counter* accesses_;
   Counter* reads_;
   Counter* writes_;
-  Counter* queue_cycles_;
 };
 
 }  // namespace hm

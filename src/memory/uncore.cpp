@@ -1,7 +1,5 @@
 #include "memory/uncore.hpp"
 
-#include <algorithm>
-
 namespace hm {
 
 Uncore::Uncore(const HierarchyConfig& cfg)
@@ -11,21 +9,19 @@ Uncore::Uncore(const HierarchyConfig& cfg)
       mem_(cfg_.mem),
       pf_l2_("PF_L2", cfg_.pf_l2, cfg_.l2.line_size),
       pf_l3_("PF_L3", cfg_.pf_l3, cfg_.l3.line_size),
-      l2_pool_(cfg_.l2_gap),
-      l3_pool_(cfg_.l3_gap),
+      l2_port_("l2_port", cfg_.l2_gap),
+      l3_port_("l3_port", cfg_.l3_gap),
+      dma_bus_("dma_bus", 1),
       stats_("uncore") {
-  dma_bus_grants_ = &stats_.counter("dma_bus_grants");
-  dma_bus_wait_cycles_ = &stats_.counter("dma_bus_wait_cycles");
+  // Port/bus contention statistics report (and reset) through the uncore
+  // group: l2_port_requests, l3_port_queue_cycles, dma_bus_delayed, ...
+  l2_port_.bind_into(stats_, "l2_port");
+  l3_port_.bind_into(stats_, "l3_port");
+  dma_bus_.bind_into(stats_, "dma_bus");
   dma_invalidate_broadcasts_ = &stats_.counter("dma_invalidate_broadcasts");
 }
 
-unsigned Uncore::register_l1(SetAssocCache* l1) {
-  l1s_.push_back(l1);
-  dma_windows_.emplace_back();
-  scan_cursor_.emplace_back();
-  for (auto& row : scan_cursor_) row.resize(l1s_.size(), 0);
-  return static_cast<unsigned>(l1s_.size() - 1);
-}
+void Uncore::register_l1(SetAssocCache* l1) { l1s_.push_back(l1); }
 
 Cycle Uncore::dma_get_line(Cycle now, Addr line_addr) {
   // The initiating tile already snooped its own L1; the SM is internally
@@ -47,56 +43,15 @@ Cycle Uncore::dma_put_line(Cycle now, Addr line_addr) {
   return mem_.access(now, AccessType::Write);
 }
 
-Cycle Uncore::dma_bus_grant(unsigned port, Cycle ready, Cycle len) {
-  dma_bus_grants_->inc();
-  // Single-tile machine: arbitration is a no-op by construction (a port
-  // never contends with itself), so skip the window bookkeeping entirely —
-  // the single-core paper runs keep their allocation-free DMA path.
-  if (dma_windows_.size() < 2) return ready;
-  Cycle start = ready;
-  // Push the window past every OTHER port's window overlapping it in
-  // simulated time; repeat until stable.  A port never contends with its
-  // own windows — its DMA engine already serializes its own commands — so a
-  // single-tile machine is granted `ready` unconditionally.
-  //
-  // Cost control: windows are appended per port with non-decreasing starts
-  // (each DMAC's ready time is monotonic), and a port's successive grant
-  // queries also have non-decreasing `ready` — so a per-(port, other-port)
-  // cursor skips windows that ended at or before `ready` once and for all,
-  // and the start-sorted scan stops at the first window beyond the query.
-  // Amortized linear in the total window count instead of quadratic.
-  std::vector<std::size_t>& cursors = scan_cursor_[port];
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    for (unsigned p = 0; p < dma_windows_.size(); ++p) {
-      if (p == port) continue;
-      const std::vector<BusWindow>& ws = dma_windows_[p];
-      std::size_t& cur = cursors[p];
-      while (cur < ws.size() && ws[cur].end <= ready) ++cur;
-      for (std::size_t i = cur; i < ws.size() && ws[i].start < start + len; ++i) {
-        if (ws[i].end > start) {
-          start = ws[i].end;
-          moved = true;
-        }
-      }
-    }
-  }
-  dma_windows_[port].push_back(BusWindow{start, start + len});
-  if (start > ready) dma_bus_wait_cycles_->inc(start - ready);
-  return start;
-}
-
 void Uncore::reset() {
   l2_.flush_all();
   l3_.flush_all();
   mem_.reset();
   pf_l2_.reset();
   pf_l3_.reset();
-  l2_pool_.reset();
-  l3_pool_.reset();
-  for (auto& w : dma_windows_) w.clear();
-  for (auto& row : scan_cursor_) std::fill(row.begin(), row.end(), 0);
+  l2_port_.reset();
+  l3_port_.reset();
+  dma_bus_.reset();
 }
 
 void Uncore::reset_stats() {

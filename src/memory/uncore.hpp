@@ -5,28 +5,31 @@
 // levels and DRAM are shared (§2.1).  This class owns everything *behind*
 // the per-tile L1 port:
 //
-//  * the shared L2 and L3 caches with their per-port bandwidth pools (one
-//    request may start per `l2_gap`/`l3_gap` cycles across ALL tiles — the
-//    arbitration point where tiles contend; note the pools keep a bounded
-//    ring of booked slots, so cross-tile port contention is modeled within
-//    that trailing window and understated beyond it — see System::run),
+//  * the shared L2 and L3 caches with their port resources (one request may
+//    start per `l2_gap`/`l3_gap` cycles across ALL tiles — the arbitration
+//    point where tiles contend; slots are booked on a full-run
+//    OccupancyTimeline, so an earlier tile's bookings stay visible to every
+//    later tile for the whole run — see common/occupancy.hpp),
 //  * the L2/L3 stream prefetchers (trained by every tile's miss stream,
 //    like a physically shared prefetch engine),
-//  * main memory,
+//  * main memory (its DRAM channel is a shared resource the same way),
 //  * the coherent DMA bus: dma-put bus requests write to main memory and
 //    broadcast an invalidation to the shared levels AND to every tile's L1
-//    (§3.4.2 — the DMA data is the valid version everywhere), and a
-//    fixed-priority per-command bus arbiter serializes transfers from
-//    different tiles whose simulated windows overlap.
+//    (§3.4.2 — the DMA data is the valid version everywhere), and the bus
+//    grants whole per-command transfer windows on a gap-1 occupancy
+//    timeline, serializing transfers whose simulated spans overlap.  Tiles
+//    run in fixed order, so earlier tiles book first — the fixed-priority
+//    arbitration of PR 3, now expressed as occupancy.
 //
 // Tiles register their L1 at construction; a single-tile machine behaves
-// bit-identically to the pre-tile monolithic hierarchy (one L1 registered,
-// the arbiter never delays the only requester).
+// bit-identically to the pre-tile monolithic hierarchy (one L1 registered;
+// a lone DMAC's commands never overlap their own bus windows, so every
+// grant equals its ready cycle).
 #pragma once
 
 #include <vector>
 
-#include "common/bandwidth.hpp"
+#include "common/occupancy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "memory/cache.hpp"
@@ -56,9 +59,9 @@ struct HierarchyConfig {
   /// Minimum cycles between request starts at L2/L3 (port bandwidth).  A
   /// write-through L1 sends every store to L2, so write-heavy loops contend
   /// here — one of the costs the hybrid machine avoids by serving regular
-  /// stores from the LM.  The pools live in the shared uncore: with several
-  /// tiles, requests whose simulated cycles overlap contend for the same
-  /// port slots regardless of which tile issued them.
+  /// stores from the LM.  The port resources live in the shared uncore:
+  /// with several tiles, requests whose simulated cycles overlap contend
+  /// for the same port slots regardless of which tile issued them.
   Cycle l2_gap = 3;
   Cycle l3_gap = 6;
 };
@@ -74,9 +77,8 @@ class Uncore {
   Uncore(Uncore&&) = delete;
   Uncore& operator=(Uncore&&) = delete;
 
-  /// Attach one tile's L1 (invalidation-broadcast target).  Returns the
-  /// tile's port id, used by the DMA bus arbiter.
-  unsigned register_l1(SetAssocCache* l1);
+  /// Attach one tile's L1 (invalidation-broadcast target).
+  void register_l1(SetAssocCache* l1);
 
   /// Coherent dma-get bus request for one line below the initiating tile's
   /// L1: read from the shared caches if the line is resident, else from
@@ -89,20 +91,23 @@ class Uncore {
   /// dma-put from tile A coherent with a line cached by tile B.
   Cycle dma_put_line(Cycle now, Addr line_addr);
 
-  /// Fixed-priority DMA bus arbitration at command granularity: grant port
-  /// @p port a bus window of @p len cycles starting at or after @p ready,
-  /// pushed past any window of another port that overlaps it in simulated
-  /// time.  With a single registered tile the grant always equals @p ready,
-  /// so single-core timing is untouched.  Deterministic: tiles run in fixed
-  /// order, and lower port ids win the bus (a fixed-priority arbiter).
-  Cycle dma_bus_grant(unsigned port, Cycle ready, Cycle len);
+  /// DMA bus arbitration at command granularity: grant a bus window of
+  /// @p len cycles starting at or after @p ready, pushed past any window
+  /// that overlaps it in simulated time.  Windows are booked on the shared
+  /// full-run bus timeline; tiles execute in fixed order, so lower tile ids
+  /// book — and therefore win the bus — first (fixed-priority arbitration).
+  /// The bus is exclusive against every window, a port's own included;
+  /// since each DMAC's engine_free_ keeps its own windows disjoint for all
+  /// shipped configs (per_line <= first-line latency — see lm/dmac.hpp),
+  /// single-core timing is untouched.
+  Cycle dma_bus_grant(Cycle ready, Cycle len) { return dma_bus_.book_span(ready, len); }
 
-  /// Drop all shared cache contents, pool state and bus windows.
+  /// Drop all shared cache contents, occupancy timelines and bus windows.
   /// Idempotent — every tile's reset may call it.
   void reset();
 
   /// Clear the uncore-owned statistics (shared caches, DRAM, prefetchers,
-  /// bus arbiter).
+  /// port/bus contention).
   void reset_stats();
 
   SetAssocCache& l2() { return l2_; }
@@ -110,13 +115,17 @@ class Uncore {
   MainMemory& memory() { return mem_; }
   StreamPrefetcher& pf_l2() { return pf_l2_; }
   StreamPrefetcher& pf_l3() { return pf_l3_; }
-  BandwidthPool& l2_pool() { return l2_pool_; }
-  BandwidthPool& l3_pool() { return l3_pool_; }
+  SharedResource& l2_port() { return l2_port_; }
+  SharedResource& l3_port() { return l3_port_; }
+  SharedResource& dma_bus() { return dma_bus_; }
   const SetAssocCache& l2() const { return l2_; }
   const SetAssocCache& l3() const { return l3_; }
   const MainMemory& memory() const { return mem_; }
   const StreamPrefetcher& pf_l2() const { return pf_l2_; }
   const StreamPrefetcher& pf_l3() const { return pf_l3_; }
+  const SharedResource& l2_port() const { return l2_port_; }
+  const SharedResource& l3_port() const { return l3_port_; }
+  const SharedResource& dma_bus() const { return dma_bus_; }
 
   unsigned num_ports() const { return static_cast<unsigned>(l1s_.size()); }
 
@@ -124,28 +133,17 @@ class Uncore {
   const StatGroup& stats() const { return stats_; }
 
  private:
-  struct BusWindow {
-    Cycle start = 0;
-    Cycle end = 0;  ///< exclusive
-  };
-
   HierarchyConfig cfg_;
   SetAssocCache l2_;
   SetAssocCache l3_;
   MainMemory mem_;
   StreamPrefetcher pf_l2_;
   StreamPrefetcher pf_l3_;
-  BandwidthPool l2_pool_;
-  BandwidthPool l3_pool_;
-  std::vector<SetAssocCache*> l1s_;          ///< broadcast targets, port order
-  std::vector<std::vector<BusWindow>> dma_windows_;  ///< per port, start-sorted
-  /// scan_cursor_[granting port][other port]: first window of the other
-  /// port that may still overlap a future grant (query ready times are
-  /// monotonic per port, so fully-passed windows are skipped for good).
-  std::vector<std::vector<std::size_t>> scan_cursor_;
+  SharedResource l2_port_;
+  SharedResource l3_port_;
+  SharedResource dma_bus_;  ///< gap-1 timeline; commands book whole windows
+  std::vector<SetAssocCache*> l1s_;  ///< broadcast targets, port order
   StatGroup stats_;
-  Counter* dma_bus_grants_;
-  Counter* dma_bus_wait_cycles_;
   Counter* dma_invalidate_broadcasts_;
 };
 

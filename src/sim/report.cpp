@@ -96,6 +96,23 @@ void append_report_fields(std::string& out, const RunReport& r) {
   json_kv_u64(out, "act_l1_size", r.activity.l1_size);
   json_kv_bool(out, "act_has_lm", r.activity.has_lm);
   json_kv_bool(out, "act_has_directory", r.activity.has_directory);
+  // Shared-resource contention sections (full-run occupancy, machine-wide).
+  const auto contention = [&](const char* res, const ResourceContention& c) {
+    char key[64];
+    const auto kv = [&](const char* field, std::uint64_t v) {
+      std::snprintf(key, sizeof(key), "%s_%s", res, field);
+      json_kv_u64(out, key, v);
+    };
+    kv("requests", c.requests);
+    kv("delayed", c.delayed);
+    kv("queue_cycles", c.queue_cycles);
+    kv("peak_occupancy", c.peak_occupancy);
+    kv("overflows", c.overflows);
+  };
+  contention("l2_port", r.l2_port);
+  contention("l3_port", r.l3_port);
+  contention("dram", r.dram);
+  contention("dma_bus", r.dma_bus);
   // Per-tile sections (tile order).  The key prefix carries the tile index,
   // so the object stays flat and the emission byte-stable for identical
   // reports.
@@ -171,6 +188,22 @@ RunReport report_from_fields(const FieldMap& f) {
   r.activity.l1_size = f_u64(f, "act_l1_size");
   r.activity.has_lm = f_bool(f, "act_has_lm");
   r.activity.has_directory = f_bool(f, "act_has_directory");
+  const auto contention = [&](const char* res, ResourceContention& c) {
+    char key[64];
+    const auto u64 = [&](const char* field) {
+      std::snprintf(key, sizeof(key), "%s_%s", res, field);
+      return f_u64(f, key);
+    };
+    c.requests = u64("requests");
+    c.delayed = u64("delayed");
+    c.queue_cycles = u64("queue_cycles");
+    c.peak_occupancy = u64("peak_occupancy");
+    c.overflows = u64("overflows");
+  };
+  contention("l2_port", r.l2_port);
+  contention("l3_port", r.l3_port);
+  contention("dram", r.dram);
+  contention("dma_bus", r.dma_bus);
   // Cap against corrupt cache files; no real machine has this many tiles.
   const std::uint64_t n_tiles = std::min<std::uint64_t>(f_u64(f, "n_tiles"), 4096);
   r.tiles.resize(n_tiles);

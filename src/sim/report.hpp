@@ -16,7 +16,10 @@ namespace hm {
 /// synthesis) alters any simulated metric — or the serialized schema — so
 /// stale cached reports are never mistaken for current ones.
 /// v2: tile-based multicore — RunReport carries per-tile sections.
-inline constexpr std::uint64_t kEngineVersion = 2;
+/// v3: full-run occupancy model for the shared L2/L3 ports, DRAM and the
+///     DMA bus — multi-tile contention tightened beyond the old ring
+///     window, and RunReport carries per-resource contention sections.
+inline constexpr std::uint64_t kEngineVersion = 3;
 
 /// Parsed flat JSON object: field name -> raw value token (strings already
 /// unescaped).  Shared between sim/report and the driver layer.

@@ -33,6 +33,13 @@ struct TileReport {
   PicoJoule energy = 0.0;  ///< tile-private energy share (no shared levels)
 };
 
+/// Contention observed at one shared uncore resource over a whole run.
+/// `overflows` must be zero for the numbers to be trusted — a non-zero
+/// value means bookings fell past the occupancy horizon and contention is
+/// understated (run_point fails such points; the golden/scaling tests
+/// assert the counters directly).
+using ResourceContention = SharedResource::Contention;
+
 /// Everything measured in one run; the inputs to Table 3, Figs. 7-10 and
 /// the scaling experiment.  On a multi-tile run the flat fields are the
 /// machine-wide aggregate — cycles is the barrier time (max over tiles),
@@ -52,7 +59,20 @@ struct RunReport {
   std::uint64_t lm_accesses = 0;
   std::uint64_t directory_accesses = 0;
 
+  // Machine-wide shared-resource contention (full-run occupancy): the L2
+  // and L3 port pools, the DRAM channel and the DMA bus.
+  ResourceContention l2_port;
+  ResourceContention l3_port;
+  ResourceContention dram;
+  ResourceContention dma_bus;
+
   std::vector<TileReport> tiles;  ///< per-tile sections, tile order
+
+  /// Total occupancy-horizon overflows across the four shared resources —
+  /// zero whenever the contention model covered the whole run.
+  std::uint64_t contention_overflows() const {
+    return l2_port.overflows + l3_port.overflows + dram.overflows + dma_bus.overflows;
+  }
 
   Cycle cycles() const { return core.cycles; }
   PicoJoule total_energy() const { return energy.total(); }

@@ -1,11 +1,19 @@
-// The tile refactor's correctness anchor: a 1-core system must reproduce
-// the pre-refactor paper tables byte-for-byte.  tests/golden/<name>.txt
-// holds every registered paper experiment's rendered table, captured from
-// the pre-tile engine at workload scale 0.05; each test re-renders the
-// experiment and compares bytes.
+// The refactor correctness anchors.
+//
+//  * A 1-core system must reproduce the pre-refactor paper tables
+//    byte-for-byte: tests/golden/<name>.txt holds every registered paper
+//    experiment's rendered table, captured from the pre-tile engine at
+//    workload scale 0.05; each test re-renders the experiment and compares
+//    bytes.
+//  * A 2-core SPMD run must reproduce the serialized multicore report
+//    byte-for-byte: tests/golden/multicore_2core.txt holds the full
+//    RunReport field serialization of two fixed 2-core points, captured
+//    from the full-run-occupancy engine (PR 4), so future refactors
+//    preserve MULTI-tile behavior, not just the 1-core fast path.
 //
 // If an intentional engine change alters simulated metrics, regenerate the
-// goldens (hm_sweep --filter <name> --scale 0.05 --no-cache --quiet) and
+// goldens (hm_sweep --filter <name> --scale 0.05 --no-cache --quiet for the
+// tables; this file's multicore_2core_text() for the 2-core capture) and
 // bump hm::kEngineVersion in the same commit.
 #include <gtest/gtest.h>
 
@@ -15,6 +23,7 @@
 
 #include "driver/experiment.hpp"
 #include "driver/sweep.hpp"
+#include "sim/report.hpp"
 
 namespace {
 
@@ -40,6 +49,13 @@ TEST_P(PaperGolden, SingleCoreTableIsByteIdenticalToPreTileEngine) {
   const SweepOutcome out = run_sweep(*spec, opt);
   EXPECT_EQ(out.failures, 0u);
 
+  // The paper tables are only trustworthy when the occupancy model covered
+  // the whole run: any horizon overflow means understated contention.
+  for (const PointResult& r : out.points)
+    if (r.ok)
+      EXPECT_EQ(r.report.contention_overflows(), 0u)
+          << r.point.label << " overflowed the occupancy horizon";
+
   const std::string want =
       read_file(std::string(HM_SOURCE_DIR) + "/tests/golden/" + GetParam() + ".txt");
   ASSERT_FALSE(want.empty()) << "missing golden file for " << GetParam();
@@ -50,5 +66,38 @@ INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGolden,
                          ::testing::Values("table1", "fig7", "fig8", "fig9", "fig10",
                                            "table3", "ablation_directory",
                                            "ablation_double_store", "ablation_prefetch"));
+
+// ---------------------------------------------------------------------------
+
+/// The 2-core capture: one SPMD point per machine kind, every RunReport
+/// field serialized.  Regenerate tests/golden/multicore_2core.txt from this
+/// exact text when an intentional engine change shifts multicore metrics.
+std::string multicore_2core_text() {
+  std::string text;
+  for (const char* machine : {"hybrid_coherent", "cache_based"}) {
+    SweepPoint p;
+    p.label = std::string("golden_2core/FT/") + machine;
+    p.machine = machine;
+    p.workload = "FT";
+    p.scale = 0.05;
+    p.knobs["cores"] = "2";
+    const PointResult r = run_point(p);
+    if (!r.ok) return "FAILED: " + r.error;
+    text += p.label;
+    text += '\n';
+    hm::append_report_fields(text, r.report);
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(MulticoreGolden, TwoCoreReportIsByteIdentical) {
+  const std::string got = multicore_2core_text();
+  ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
+  const std::string want =
+      read_file(std::string(HM_SOURCE_DIR) + "/tests/golden/multicore_2core.txt");
+  ASSERT_FALSE(want.empty()) << "missing golden file multicore_2core.txt";
+  EXPECT_EQ(got, want) << "2-core SPMD report drifted from the occupancy-engine capture";
+}
 
 }  // namespace

@@ -1,0 +1,263 @@
+// Unit tests for the full-run occupancy layer (slot and span booking,
+// epoch reset, saturation, the overflow guard and the SharedResource
+// contention statistics), the core's issue-slot model and the
+// write-combining behaviour of the write-through L1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/occupancy.hpp"
+#include "core/ooo_core.hpp"
+#include "memory/hierarchy.hpp"
+
+namespace hm {
+namespace {
+
+TEST(OccupancyTimeline, ZeroGapIsInfinite) {
+  OccupancyTimeline t(0);
+  for (Cycle c : {Cycle{0}, Cycle{5}, Cycle{5}, Cycle{5}}) EXPECT_EQ(t.book(c).start, c);
+}
+
+TEST(OccupancyTimeline, OnePerGapBucket) {
+  OccupancyTimeline t(4);
+  EXPECT_EQ(t.book(0).start, 0u);   // bucket 0
+  EXPECT_EQ(t.book(0).start, 4u);   // bucket 0 taken -> bucket 1 starts at 4
+  EXPECT_EQ(t.book(0).start, 8u);
+  EXPECT_EQ(t.book(12).start, 12u); // far bucket still free
+}
+
+TEST(OccupancyTimeline, OutOfOrderRequestsFillHoles) {
+  OccupancyTimeline t(4);
+  EXPECT_EQ(t.book(100).start, 100u);  // a future booking...
+  // ...must not delay an earlier request (the bug a single next-free
+  // register has).
+  EXPECT_EQ(t.book(0).start, 0u);
+  EXPECT_EQ(t.book(4).start, 4u);
+}
+
+TEST(OccupancyTimeline, BookNeverStartsBeforeRequest) {
+  OccupancyTimeline t(8);
+  for (int i = 0; i < 100; ++i) {
+    const Cycle when = static_cast<Cycle>(i * 3);
+    EXPECT_GE(t.book(when).start, when);
+  }
+}
+
+TEST(OccupancyTimeline, NonMonotonicTimestampsKeepFullRunMemory) {
+  // The bounded ring forgot bookings older than its window; the timeline
+  // must not.  Book far in the future, fill the present, then revisit the
+  // future bucket: it is still occupied.
+  OccupancyTimeline t(2);
+  EXPECT_EQ(t.book(1'000'000).start, 1'000'000u);
+  for (int i = 0; i < 1000; ++i) t.book(0);  // a dense present-day burst
+  // The future slot booked first is remembered across the whole run.
+  EXPECT_EQ(t.book(1'000'000).start, 1'000'002u);
+  // And the present-day burst is remembered from the future's perspective.
+  EXPECT_EQ(t.book(0).start, 2000u);
+}
+
+TEST(OccupancyTimeline, EpochResetFreesEverything) {
+  OccupancyTimeline t(4);
+  t.book(0);
+  t.book(1'000'000);  // a second chunk, so reset covers multiple chunks
+  t.reset();
+  EXPECT_EQ(t.book(0).start, 0u);
+  EXPECT_EQ(t.book(1'000'000).start, 1'000'000u);
+}
+
+TEST(OccupancyTimeline, EpochResetRecyclesSaturatedChunks) {
+  // Saturate well past one 4096-bucket chunk, reset, and saturate again:
+  // the recycled chunks must behave exactly like fresh ones (the lazily
+  // cleared epoch path), including the level-2 full-chunk summary.
+  OccupancyTimeline t(1);
+  for (int round = 0; round < 2; ++round) {
+    for (Cycle i = 0; i < 10'000; ++i) EXPECT_EQ(t.book(0).start, i) << "round " << round;
+    t.reset();
+  }
+}
+
+TEST(OccupancyTimeline, DenseSaturationSerializesAcrossChunks) {
+  // N same-cycle requests serialize at exactly one per gap, across chunk
+  // boundaries (4096 buckets per chunk; 6000 bookings span two chunks).
+  OccupancyTimeline t(3);
+  Cycle last = 0;
+  for (int i = 0; i < 6000; ++i) last = t.book(0).start;
+  EXPECT_EQ(last, 3u * 5999u);
+  // The saturated prefix reports its depth: the last booking skipped 5999
+  // occupied buckets.
+  EXPECT_EQ(t.book(0).skipped, 6000u);
+}
+
+TEST(OccupancyTimeline, OverflowPastHorizonIsGrantedButFlagged) {
+  OccupancyTimeline t(1);
+  const Cycle beyond = OccupancyTimeline::max_buckets() + 17;
+  const auto b = t.book(beyond);
+  EXPECT_TRUE(b.overflow);
+  EXPECT_EQ(b.start, beyond);  // served as if free — but never silently
+  EXPECT_FALSE(t.book(0).overflow);
+}
+
+TEST(OccupancyTimeline, SpanBookingPushesPastOverlap) {
+  OccupancyTimeline t(1);
+  EXPECT_EQ(t.book_span(10, 5).start, 10u);   // [10,15)
+  EXPECT_EQ(t.book_span(12, 4).start, 15u);   // overlaps -> pushed to the end
+  EXPECT_EQ(t.book_span(0, 10).start, 0u);    // the earlier gap is still free
+  EXPECT_EQ(t.book_span(0, 2).start, 19u);    // everything before is booked
+}
+
+TEST(OccupancyTimeline, SpanBookingFitsIntoGapsBetweenWindows) {
+  OccupancyTimeline t(1);
+  t.book_span(0, 4);    // [0,4)
+  t.book_span(10, 4);   // [10,14)
+  const auto fit = t.book_span(0, 6);       // exactly fills [4,10)
+  EXPECT_EQ(fit.start, 4u);
+  EXPECT_EQ(fit.skipped, 4u);               // only the BUSY buckets [0,4)
+  const auto tail = t.book_span(0, 1);      // nothing left before 14
+  EXPECT_EQ(tail.start, 14u);
+  EXPECT_EQ(tail.skipped, 14u);             // [0,14) is now solidly busy
+}
+
+TEST(OccupancyTimeline, SpanSkippedCountsBusyBucketsNotFreeGaps) {
+  // Free gaps too small for the span are not backlog: the depth statistic
+  // must count occupied buckets only, matching the slot-mode unit.
+  OccupancyTimeline t(1);
+  t.book_span(0, 4);    // [0,4)
+  t.book_span(6, 4);    // [6,10)  — a 2-cycle free gap at [4,6)
+  const auto b = t.book_span(0, 3);
+  EXPECT_EQ(b.start, 10u);
+  EXPECT_EQ(b.skipped, 8u);  // 4 + 4 busy buckets; the gap [4,6) is free
+}
+
+TEST(OccupancyTimeline, SpanBookingCrossesChunkBoundaries) {
+  OccupancyTimeline t(1);
+  const Cycle len = 10'000;  // > 2 chunks of 4096 buckets
+  EXPECT_EQ(t.book_span(100, len).start, 100u);
+  EXPECT_EQ(t.book_span(100, 1).start, 100u + len);
+}
+
+TEST(SharedResource, ContentionStatisticsAccumulate) {
+  SharedResource r("port", 4);
+  EXPECT_EQ(r.book(0), 0u);
+  EXPECT_EQ(r.book(0), 4u);
+  EXPECT_EQ(r.book(0), 8u);
+  EXPECT_EQ(r.book(100), 100u);
+  const auto& c = r.contention();
+  EXPECT_EQ(c.requests, 4u);
+  EXPECT_EQ(c.delayed, 2u);
+  EXPECT_EQ(c.queue_cycles, 4u + 8u);
+  EXPECT_EQ(c.peak_occupancy, 2u);  // the third booking skipped two buckets
+  EXPECT_EQ(c.overflows, 0u);
+}
+
+TEST(SharedResource, BindsCountersIntoAStatGroup) {
+  StatGroup g("res");
+  SharedResource r("l9_port", 2);
+  r.bind_into(g, "l9_port");
+  r.book(0);
+  r.book(0);
+  EXPECT_EQ(g.value("l9_port_requests"), 2u);
+  EXPECT_EQ(g.value("l9_port_delayed"), 1u);
+  EXPECT_EQ(g.value("l9_port_queue_cycles"), 2u);
+  g.reset_all();
+  EXPECT_EQ(r.contention().requests, 0u);
+}
+
+TEST(SharedResource, OverflowCounterTracksHorizonBreaches) {
+  SharedResource r("bus", 1);
+  r.book(OccupancyTimeline::max_buckets() + 1);
+  r.book_span(OccupancyTimeline::max_buckets() - 1, 8);
+  EXPECT_EQ(r.contention().overflows, 2u);
+  r.book(0);
+  EXPECT_EQ(r.contention().overflows, 2u);
+}
+
+TEST(SharedResource, MultiTileSlowdownIsMonotonicInCoreCount) {
+  // Property: on a shared port of gap G, the aggregate per-tile slowdown
+  // (mean queueing cycles per request) is monotonically non-decreasing in
+  // the number of tiles.  Each tile issues the same request stream on its
+  // own local clock — exactly how System::run drives the shared uncore —
+  // so more tiles can only deepen the full-run occupancy.
+  constexpr Cycle kGap = 3;
+  constexpr int kRequests = 400;
+  double prev = -1.0;
+  for (const unsigned tiles : {1u, 2u, 4u, 8u, 16u}) {
+    SharedResource port("l2_port", kGap);
+    for (unsigned t = 0; t < tiles; ++t) {
+      Cycle now = 0;
+      for (int i = 0; i < kRequests; ++i) {
+        const Cycle start = port.book(now);
+        now = std::max(now + 2, start);  // a tile-local clock, gap-agnostic
+      }
+    }
+    const auto& c = port.contention();
+    ASSERT_EQ(c.requests, static_cast<std::uint64_t>(tiles) * kRequests);
+    const double slowdown =
+        static_cast<double>(c.queue_cycles) / static_cast<double>(c.requests);
+    EXPECT_GE(slowdown, prev) << tiles << " tiles";
+    EXPECT_EQ(c.overflows, 0u);
+    prev = slowdown;
+  }
+}
+
+TEST(IssuePool, WidthPerCycle) {
+  OooCore::IssuePool pool(2);
+  EXPECT_EQ(pool.book(10), 10u);
+  EXPECT_EQ(pool.book(10), 10u);  // second slot in the same cycle
+  EXPECT_EQ(pool.book(10), 11u);  // third spills to the next cycle
+}
+
+TEST(IssuePool, YoungOpsFillOldHoles) {
+  OooCore::IssuePool pool(1);
+  EXPECT_EQ(pool.book(50), 50u);  // op with late-ready operands
+  EXPECT_EQ(pool.book(10), 10u);  // younger op issues earlier — no blocking
+}
+
+TEST(WriteCombining, SameLineStoresMerge) {
+  HierarchyConfig cfg;
+  cfg.pf_l1.enabled = cfg.pf_l2.enabled = cfg.pf_l3.enabled = false;
+  MemoryHierarchy h(cfg);
+  h.access(0, 0x1000, AccessType::Read, 0x400);  // warm the line into L1
+  const auto before = h.stats().value("writethrough_traffic");
+  // Eight stores into one line close together: one combining entry.
+  for (Addr off = 0; off < 64; off += 8) h.access(10, 0x1000 + off, AccessType::Write, 0x404);
+  EXPECT_EQ(h.stats().value("writethrough_traffic"), before + 1);
+}
+
+TEST(WriteCombining, DistinctLinesDoNotMerge) {
+  HierarchyConfig cfg;
+  cfg.pf_l1.enabled = cfg.pf_l2.enabled = cfg.pf_l3.enabled = false;
+  MemoryHierarchy h(cfg);
+  for (Addr a = 0x1000; a < 0x1000 + 4 * 64; a += 64) h.access(0, a, AccessType::Read, 0x400);
+  const auto before = h.stats().value("writethrough_traffic");
+  for (Addr a = 0x1000; a < 0x1000 + 4 * 64; a += 64) h.access(10, a, AccessType::Write, 0x404);
+  EXPECT_EQ(h.stats().value("writethrough_traffic"), before + 4);
+}
+
+TEST(WriteCombining, EntryExpiresAfterDrain) {
+  HierarchyConfig cfg;
+  cfg.pf_l1.enabled = cfg.pf_l2.enabled = cfg.pf_l3.enabled = false;
+  MemoryHierarchy h(cfg);
+  h.access(0, 0x1000, AccessType::Read, 0x400);
+  h.access(10, 0x1000, AccessType::Write, 0x404);
+  const auto before = h.stats().value("writethrough_traffic");
+  // Long after the drain the same line needs a fresh write-through.
+  h.access(100'000, 0x1000, AccessType::Write, 0x404);
+  EXPECT_EQ(h.stats().value("writethrough_traffic"), before + 1);
+}
+
+class OccupancyGapSweep : public ::testing::TestWithParam<Cycle> {};
+
+TEST_P(OccupancyGapSweep, ThroughputMatchesGap) {
+  const Cycle gap = GetParam();
+  OccupancyTimeline t(gap);
+  // N same-cycle requests serialize at exactly one per gap.
+  const int n = 64;
+  Cycle last = 0;
+  for (int i = 0; i < n; ++i) last = t.book(0).start;
+  EXPECT_EQ(last, gap * static_cast<Cycle>(n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, OccupancyGapSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace hm

@@ -190,10 +190,39 @@ TEST(Tile, ScalingIsMonotonicOnEP) {
     if (std::string(cores) != "1") p.knobs["cores"] = cores;
     const PointResult r = run_point(p);
     ASSERT_TRUE(r.ok) << r.error;
+    // The occupancy model must cover the whole run at every core count.
+    EXPECT_EQ(r.report.contention_overflows(), 0u) << "cores=" << cores;
     if (prev != 0)
       EXPECT_LE(r.report.cycles(), prev) << "cores=" << cores << " regressed";
     prev = r.report.cycles();
   }
+}
+
+TEST(Tile, SharedResourceContentionIsReportedAndGrowsWithTiles) {
+  // The RunReport contention sections come straight from the uncore's
+  // shared resources: a 2-core SPMD run of the same kernel must book at
+  // least as many L2-port slots as the 1-core run and report machine-wide
+  // queueing; a 1-core run reports zero DMA-bus delay (a lone DMAC never
+  // contends with itself).
+  using namespace hm::driver;
+  RunReport reports[2];
+  for (const unsigned cores : {1u, 2u}) {
+    SweepPoint p;
+    p.label = "contention_probe/SP/" + std::to_string(cores);
+    p.machine = "hybrid_coherent";
+    p.workload = "SP";
+    p.scale = 0.1;
+    if (cores != 1) p.knobs["cores"] = std::to_string(cores);
+    const PointResult r = run_point(p);
+    ASSERT_TRUE(r.ok) << r.error;
+    reports[cores - 1] = r.report;
+  }
+  EXPECT_GT(reports[0].l2_port.requests, 0u);
+  EXPECT_EQ(reports[0].dma_bus.delayed, 0u);
+  EXPECT_EQ(reports[0].contention_overflows(), 0u);
+  EXPECT_GE(reports[1].l2_port.requests, reports[0].l2_port.requests);
+  EXPECT_GT(reports[1].dma_bus.requests, 0u);
+  EXPECT_EQ(reports[1].contention_overflows(), 0u);
 }
 
 TEST(Tile, CoresKnobValidation) {

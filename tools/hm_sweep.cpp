@@ -159,9 +159,36 @@ bool write_file(const std::filesystem::path& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+/// The distinct values of an experiment's core-count axis, in declaration
+/// order: `cores` axis values and any grid-base pin, with the canonical
+/// default of 1 when a grid leaves the knob unset.
+std::vector<std::string> core_axis(const ExperimentSpec& spec) {
+  std::vector<std::string> cores;
+  const auto add = [&](const std::string& v) {
+    for (const std::string& have : cores)
+      if (have == v) return;
+    cores.push_back(v);
+  };
+  for (const Grid& g : spec.grids) {
+    bool pinned = false;
+    for (const Axis& a : g.axes)
+      if (a.key == "cores") {
+        pinned = true;
+        for (const std::string& v : a.values) add(v);
+      }
+    if (!pinned) {
+      const auto base = g.base.find("cores");
+      add(base != g.base.end() ? base->second : "1");
+    }
+  }
+  if (cores.empty()) cores.push_back("1");  // grid-less spec: canonical default
+  return cores;
+}
+
 /// Machine-readable inventory for `list --format json`: one object per
-/// selected experiment, with the registered machines/workloads appended so
-/// scripts can discover the whole axis space from one call.
+/// selected experiment (including its core-count axis), with the
+/// registered machines/workloads appended so scripts can discover the
+/// whole axis space from one call.
 std::string list_json(const std::vector<const ExperimentSpec*>& selected) {
   std::string out = "{\n\"experiments\":[\n";
   for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -173,7 +200,13 @@ std::string list_json(const std::vector<const ExperimentSpec*>& selected) {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.17g", spec->scale);
     out += buf;
-    out += ",\"artifact\":\"";
+    out += ",\"cores\":[";
+    const std::vector<std::string> cores = core_axis(*spec);
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      out += cores[c];
+      if (c + 1 < cores.size()) out += ',';
+    }
+    out += "],\"artifact\":\"";
     append_json_escaped(out, spec->artifact);
     out += "\",\"title\":\"";
     append_json_escaped(out, spec->title);
