@@ -2,7 +2,7 @@
 // number of LM buffers, demoting strided references to the caches.
 //
 // Thin wrapper over the registered "ablation_directory" experiment spec
-// (src/driver); use `hm_sweep --filter ablation_directory` for JSON/CSV.
+// (src/driver); use `hm_sweep run --filter ablation_directory` for JSON/CSV.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("ablation_directory"); }

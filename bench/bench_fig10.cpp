@@ -3,7 +3,7 @@
 // normalized to the cache-based total).
 //
 // Thin wrapper over the registered "fig10" experiment spec (src/driver);
-// use `hm_sweep --filter fig10` for JSON/CSV output and memo-cached re-runs.
+// use `hm_sweep run --filter fig10` for JSON/CSV output and memo-cached re-runs.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("fig10"); }

@@ -3,7 +3,7 @@
 // percentage of guarded references.
 //
 // Thin wrapper over the registered "fig7" experiment spec (src/driver);
-// use `hm_sweep --filter fig7` for JSON/CSV output and memo-cached re-runs.
+// use `hm_sweep run --filter fig7` for JSON/CSV output and memo-cached re-runs.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("fig7"); }

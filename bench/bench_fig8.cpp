@@ -3,7 +3,7 @@
 // oracle compiler (§4.2).
 //
 // Thin wrapper over the registered "fig8" experiment spec (src/driver);
-// use `hm_sweep --filter fig8` for JSON/CSV output and memo-cached re-runs.
+// use `hm_sweep run --filter fig8` for JSON/CSV output and memo-cached re-runs.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("fig8"); }

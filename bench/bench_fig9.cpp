@@ -3,7 +3,7 @@
 // phases (both normalized to the cache-based execution time).
 //
 // Thin wrapper over the registered "fig9" experiment spec (src/driver);
-// use `hm_sweep --filter fig9` for JSON/CSV output and memo-cached re-runs.
+// use `hm_sweep run --filter fig9` for JSON/CSV output and memo-cached re-runs.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("fig9"); }

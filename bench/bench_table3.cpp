@@ -3,7 +3,7 @@
 // access counts for every structure.
 //
 // Thin wrapper over the registered "table3" experiment spec (src/driver);
-// use `hm_sweep --filter table3` for JSON/CSV output and memo-cached re-runs.
+// use `hm_sweep run --filter table3` for JSON/CSV output and memo-cached re-runs.
 #include "driver/sweep.hpp"
 
 int main() { return hm::driver::bench_main("table3"); }

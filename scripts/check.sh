@@ -19,7 +19,9 @@ else
 fi
 
 # Sweep-driver smoke: the Fig. 7 experiment on two workers exercises the
-# scheduler, the registries and the renderer end to end.
-(cd build && ./hm_sweep --filter fig7 --jobs 2 --no-cache --quiet)
+# scheduler, the registries and the renderer end to end.  The `run`
+# subcommand is mandatory (hm_sweep errors without it), so this invocation
+# and ci.yml's can no longer drift apart.
+(cd build && ./hm_sweep run --filter fig7 --jobs 2 --no-cache --quiet)
 
 echo "check.sh: all green"

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the simulation engine.
+
+BENCH_engine.json (committed at the repo root) is the engine-throughput
+baseline; CI uploads fresh measurements but, before this gate, never
+*checked* them — a hot-path regression could land silently.  This script
+closes that hole:
+
+    scripts/perf_gate.py --bench build/bench_engine --baseline BENCH_engine.json
+
+It runs the benchmark REPS times (default 3), takes the per-benchmark
+MEDIAN of items_per_second (noise tolerance: one slow rep never fails the
+gate), and compares each benchmark against the committed baseline.  Any
+benchmark slower than (1 - threshold) x baseline — default threshold 0.25,
+i.e. a >25% regression — fails the gate with exit code 1.
+
+Benchmarks present on only one side are reported but never fail the gate
+(adding/removing a benchmark is not a regression), so the gate stays
+usable while the bench suite evolves.
+
+Dry-run hook: --fresh FILE skips running the benchmark and scores a
+pre-captured google-benchmark JSON instead.  That is how the gate itself
+is tested — double every baseline throughput and the same fresh file must
+fail:
+
+    scripts/perf_gate.py --fresh fresh.json --baseline doubled.json  # exit 1
+
+Exit codes: 0 gate passed, 1 regression detected, 2 usage/environment
+error (missing files, benchmark crash, malformed JSON).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg: str) -> "sys.NoReturn":
+    print(f"perf_gate: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def throughputs(doc: dict) -> dict:
+    """name -> items_per_second for every timed benchmark in a
+    google-benchmark JSON document (aggregates and items-less entries are
+    skipped)."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        name = b.get("name")
+        if name and isinstance(ips, (int, float)) and ips > 0:
+            out[name] = float(ips)
+    return out
+
+
+def load_json(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: no such file")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed JSON ({e})")
+
+
+def run_bench(bench: str, min_time: float, rep: int) -> dict:
+    """One benchmark repetition, captured via --benchmark_out (stdout stays
+    human-readable in the CI log)."""
+    with tempfile.NamedTemporaryFile(
+        prefix=f"perf_gate_rep{rep}_", suffix=".json", delete=False
+    ) as tmp:
+        out_path = tmp.name
+    cmd = [
+        bench,
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    except OSError as e:
+        fail(f"cannot run {bench}: {e}")
+    if proc.returncode != 0:
+        fail(
+            f"{bench} exited {proc.returncode} on rep {rep}:\n"
+            + proc.stderr.decode(errors="replace")
+        )
+    doc = load_json(out_path)
+    os.unlink(out_path)
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench_engine",
+                    help="bench_engine binary to measure (default: build/bench_engine)")
+    ap.add_argument("--baseline", default="BENCH_engine.json",
+                    help="committed baseline JSON (default: BENCH_engine.json)")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions; the per-benchmark median is scored (default: 3)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated fractional regression (default: 0.25)")
+    ap.add_argument("--min-time", type=float, default=0.05,
+                    help="--benchmark_min_time per rep in seconds (default: 0.05)")
+    ap.add_argument("--fresh", metavar="FILE",
+                    help="score this pre-captured benchmark JSON instead of "
+                         "running --bench (dry-run / self-test hook)")
+    args = ap.parse_args()
+
+    if args.reps < 1:
+        fail("--reps must be >= 1")
+    if not 0.0 < args.threshold < 1.0:
+        fail("--threshold must be in (0, 1)")
+
+    baseline = throughputs(load_json(args.baseline))
+    if not baseline:
+        fail(f"{args.baseline}: no benchmarks with items_per_second")
+
+    if args.fresh:
+        reps = [throughputs(load_json(args.fresh))]
+    else:
+        if not os.access(args.bench, os.X_OK):
+            fail(f"{args.bench}: not an executable (build with HM_BUILD_BENCH=ON)")
+        reps = [throughputs(run_bench(args.bench, args.min_time, r + 1))
+                for r in range(args.reps)]
+
+    fresh = {}
+    for name in reps[0]:
+        samples = [r[name] for r in reps if name in r]
+        if samples:
+            fresh[name] = statistics.median(samples)
+    if not fresh:
+        fail("fresh measurement produced no benchmarks with items_per_second")
+
+    floor = 1.0 - args.threshold
+    regressions = []
+    print(f"perf_gate: median of {len(reps)} rep(s) vs {args.baseline} "
+          f"(fail below {floor:.2f}x)")
+    print(f"  {'benchmark':<32} {'baseline':>14} {'fresh':>14} {'ratio':>8}")
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            print(f"  {name:<32} {'-':>14} {fresh[name]:>14.3e} {'new':>8}")
+            continue
+        if name not in fresh:
+            print(f"  {name:<32} {baseline[name]:>14.3e} {'-':>14} {'gone':>8}")
+            continue
+        ratio = fresh[name] / baseline[name]
+        verdict = "" if ratio >= floor else "  << REGRESSION"
+        print(f"  {name:<32} {baseline[name]:>14.3e} {fresh[name]:>14.3e} "
+              f"{ratio:>7.2f}x{verdict}")
+        if ratio < floor:
+            regressions.append((name, ratio))
+
+    if regressions:
+        worst = min(regressions, key=lambda nr: nr[1])
+        print(f"perf_gate: FAIL — {len(regressions)} benchmark(s) regressed "
+              f">{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+              file=sys.stderr)
+        return 1
+    print("perf_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every golden under tests/golden/ from the current engine.
+#
+# Use this ONLY after an intentional engine change whose metric drift you
+# have reviewed (and bump hm::kEngineVersion in src/sim/report.hpp in the
+# same commit).  The capture runs the golden_test binary itself with
+# HM_UPDATE_GOLDENS=1, so the bytes written are exactly the bytes the test
+# will later compare — the capture path cannot drift from the check path.
+#
+#   scripts/update_goldens.sh [build-dir]     (default: build)
+#
+# Afterwards: git diff tests/golden/ to review the drift, then rerun
+# scripts/check.sh to confirm the suite is green against the new goldens.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if [ ! -x "$build_dir/golden_test" ]; then
+  echo "error: $build_dir/golden_test not built — run: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+
+HM_UPDATE_GOLDENS=1 "$build_dir/golden_test"
+
+echo
+echo "goldens rewritten; review with: git diff tests/golden/"

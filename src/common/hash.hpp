@@ -1,0 +1,38 @@
+// The two deterministic hash primitives the codebase's seed derivations
+// share, in one place so the bit-exact sequences cannot drift apart:
+//
+//   * fnv1a64 — FNV-1a over bytes: experiment/kernel names -> stable ids;
+//   * splitmix64_mix — the SplitMix64 finalizer: decorrelates structured
+//     inputs (seed + k*GOLDEN, packed (ref, iter) words, ...) into
+//     collision-poor 64-bit values.
+//
+// Every caller's output is pinned by the golden tests, so any change here
+// is a simulated-metrics change: bump hm::kEngineVersion and regenerate
+// the goldens together with it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hm {
+
+/// 2^64 / phi — the SplitMix64 stream increment; callers multiply it by a
+/// small index to space structured inputs before mixing.
+inline constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ull;
+
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hm

@@ -32,8 +32,12 @@ AliasVerdict AliasOracle::query(unsigned ref_a, unsigned ref_b) const {
   // A pointer-chase access has an unknown accessible range: the analysis
   // cannot bound it, so it may alias anything (§3.1: "typically the compiler
   // is unable to determine what is the accessible address range of a
-  // potentially incoherent access").
-  if (a.pattern == PatternKind::PointerChase || b.pattern == PatternKind::PointerChase)
+  // potentially incoherent access").  When the range IS known (MemRef::
+  // range_known — a restrict-qualified arena or a points-to result bounding
+  // the chain to one allocation), the chase degrades to a named-array
+  // reference and the structural verdict below applies.
+  if ((a.pattern == PatternKind::PointerChase && !a.range_known) ||
+      (b.pattern == PatternKind::PointerChase && !b.range_known))
     return AliasVerdict::MayAlias;
 
   // Named-array references: distinct allocations never alias; the same

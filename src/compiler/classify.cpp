@@ -2,15 +2,60 @@
 
 namespace hm {
 
+namespace {
+
+/// Bytes a strided reference advances per iteration — the quantity the
+/// equal-buffer tiling geometry requires to agree across mapped refs.
+Bytes bytes_per_iter(const LoopNest& loop, const MemRef& r) {
+  const std::uint64_t s = static_cast<std::uint64_t>(r.stride < 0 ? -r.stride : r.stride);
+  return s * loop.array_of(r).elem_size;
+}
+
+/// The advance shared by the most strided references (program order breaks
+/// ties): only refs matching it are LM-tiling candidates.
+Bytes dominant_advance(const LoopNest& loop) {
+  std::vector<std::pair<Bytes, unsigned>> counts;  // (advance, refs with it)
+  for (const MemRef& r : loop.refs) {
+    if (r.pattern != PatternKind::Strided) continue;
+    const Bytes bpi = bytes_per_iter(loop, r);
+    bool found = false;
+    for (auto& [adv, n] : counts)
+      if (adv == bpi) {
+        ++n;
+        found = true;
+      }
+    if (!found) counts.emplace_back(bpi, 1);
+  }
+  Bytes best = 0;
+  unsigned best_n = 0;
+  for (const auto& [adv, n] : counts)
+    if (n > best_n) {  // strict: the earliest advance wins ties
+      best = adv;
+      best_n = n;
+    }
+  return best;
+}
+
+}  // namespace
+
 Classification classify(const LoopNest& loop, const AliasOracle& oracle, unsigned max_buffers) {
   loop.validate();
   Classification out;
   out.refs.resize(loop.refs.size());
 
   // Pass 1: strided references become regular, in program order, up to the
-  // buffer cap; the overflow is demoted to irregular (not mapped).
+  // buffer cap; the overflow is demoted to irregular (not mapped).  A ref
+  // whose bytes/iteration disagrees with the loop's dominant advance cannot
+  // share the equal-buffer tiling geometry and stays on the cache path.
+  const Bytes advance = dominant_advance(loop);
   for (unsigned i = 0; i < loop.refs.size(); ++i) {
     if (loop.refs[i].pattern != PatternKind::Strided) continue;
+    if (bytes_per_iter(loop, loop.refs[i]) != advance) {
+      out.refs[i].cls = RefClass::Irregular;
+      ++out.demoted_stride;
+      ++out.num_irregular;
+      continue;
+    }
     if (out.num_regular < max_buffers) {
       out.refs[i].cls = RefClass::Regular;
       out.refs[i].lm_buffer = static_cast<int>(out.num_regular);
@@ -22,11 +67,17 @@ Classification classify(const LoopNest& loop, const AliasOracle& oracle, unsigne
     }
   }
 
-  // Pass 2: non-strided references are irregular unless they (may) alias a
-  // reference that was actually mapped to the LM.
+  // Pass 2: unmapped references are irregular unless they (may) alias a
+  // reference that was actually mapped to the LM.  This covers the
+  // non-strided patterns AND the strided refs pass 1 demoted (buffer cap or
+  // stride mismatch): a demoted ref runs against the SM, so if it can
+  // touch an array whose chunk is live in the LM it is just as potentially
+  // incoherent as an indirect access there and must be guarded.
   for (unsigned i = 0; i < loop.refs.size(); ++i) {
     const MemRef& r = loop.refs[i];
-    if (r.pattern == PatternKind::Strided) continue;
+    const bool demoted_strided =
+        r.pattern == PatternKind::Strided && out.refs[i].cls == RefClass::Irregular;
+    if (r.pattern == PatternKind::Strided && !demoted_strided) continue;
 
     bool may_alias_regular = false;
     bool may_alias_readonly_regular = false;
@@ -41,21 +92,26 @@ Classification classify(const LoopNest& loop, const AliasOracle& oracle, unsigne
     }
 
     if (!may_alias_regular) {
-      out.refs[i].cls = RefClass::Irregular;
-      ++out.num_irregular;
+      if (!demoted_strided) {
+        out.refs[i].cls = RefClass::Irregular;
+        ++out.num_irregular;
+      }
       continue;
     }
 
+    if (demoted_strided) --out.num_irregular;  // reclassified below
     out.refs[i].cls = RefClass::PotentiallyIncoherent;
     ++out.num_potentially_incoherent;
     if (r.is_write) {
       // The double store is required unless the compiler can ensure the
       // aliasing is only with data that will be written back.  A pointer
-      // chase has an unbounded accessible range, so the compiler can never
-      // ensure it (§3.1: "the compiler almost always generates a double
-      // store").
+      // chase with an unbounded accessible range defeats that proof
+      // outright (§3.1: "the compiler almost always generates a double
+      // store"); a range_known chase is as analyzable as a named-array
+      // reference, so only the read-only-buffer hazard remains.
       out.refs[i].needs_double_store =
-          may_alias_readonly_regular || r.pattern == PatternKind::PointerChase;
+          may_alias_readonly_regular ||
+          (r.pattern == PatternKind::PointerChase && !r.range_known);
     }
   }
 

@@ -33,6 +33,10 @@ struct Classification {
   unsigned num_irregular = 0;
   unsigned num_potentially_incoherent = 0;
   unsigned demoted_regular = 0;           ///< strided refs beyond the buffer cap
+  /// Strided refs whose bytes/iteration disagrees with the loop's dominant
+  /// advance: the tiling geometry (equally sized, chunk-aligned buffers)
+  /// cannot host them, so they stay on the cache path instead.
+  unsigned demoted_stride = 0;
 
   unsigned guarded_refs() const { return num_potentially_incoherent; }
   unsigned total_refs() const { return static_cast<unsigned>(refs.size()); }
@@ -42,6 +46,14 @@ struct Classification {
 /// entry count: at most that many strided references are mapped to the LM;
 /// the rest are demoted to irregular (served by the caches), as §3.2
 /// prescribes for loops with more than 32 regular references.
+///
+/// The LM-vs-cache tiling decision for strided references: the directory's
+/// equal-buffer geometry (§3.2) requires every mapped reference to advance
+/// the same bytes per iteration.  classify() elects the advance shared by
+/// the most strided references (earliest in program order on a tie) and
+/// demotes the rest to the caches (demoted_stride) — a mixed-stride loop
+/// like a radix partition walking keys at stride 1 and a count table at
+/// stride 2 maps the dominant streams and serves the odd one from L1.
 Classification classify(const LoopNest& loop, const AliasOracle& oracle,
                         unsigned max_buffers = 32);
 

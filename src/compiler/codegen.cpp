@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace hm {
 
 namespace {
@@ -55,11 +57,8 @@ void CompiledKernel::reset() {
 }
 
 std::uint64_t CompiledKernel::store_value(unsigned ref, std::uint64_t iter) {
-  // SplitMix64-style mix of (ref, iter): deterministic and collision-poor.
-  std::uint64_t z = (static_cast<std::uint64_t>(ref) << 48) ^ iter ^ 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  // SplitMix64 mix of (ref, iter): deterministic and collision-poor.
+  return splitmix64_mix((static_cast<std::uint64_t>(ref) << 48) ^ iter ^ kGoldenGamma);
 }
 
 std::uint32_t CompiledKernel::all_tags_mask() const {
@@ -208,16 +207,17 @@ void CompiledKernel::emit_work_iteration(std::uint64_t g) {
     const std::uint8_t dst = static_cast<std::uint8_t>(base + (load_slot++ % kLoadRegs));
     last_loaded = dst;
 
-    Addr addr;
+    // Strided refs address by induction variable (an LM buffer when mapped,
+    // the SM when demoted); the rest draw data-dependent SM addresses.  Any
+    // potentially incoherent reference — indirect, chased, or a demoted
+    // strided ref that may alias a live LM chunk — is guarded.
+    const Addr addr = r.pattern == PatternKind::Strided
+                          ? regular_address(i, g)
+                          : irregular_address(i, g, ref_rng_[i]);
     OpKind kind = OpKind::Load;
-    if (r.pattern == PatternKind::Strided) {
-      addr = regular_address(i, g);
-    } else {
-      addr = irregular_address(i, g, ref_rng_[i]);
-      if (cls == RefClass::PotentiallyIncoherent && tiled_ &&
-          opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
-        kind = OpKind::GuardedLoad;
-      }
+    if (cls == RefClass::PotentiallyIncoherent && tiled_ &&
+        opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
+      kind = OpKind::GuardedLoad;
     }
     push_mem(kind, ExecPhase::Work, load_pc_[i], addr, dst, 0, i, g);
   }
@@ -248,19 +248,16 @@ void CompiledKernel::emit_work_iteration(std::uint64_t g) {
     if (!r.is_write) continue;
     const ClassifiedRef& cr = cls_.refs[i];
 
-    Addr addr;
+    const Addr addr = r.pattern == PatternKind::Strided
+                          ? regular_address(i, g)
+                          : irregular_address(i, g, ref_rng_[i]);
     OpKind kind = OpKind::Store;
     bool double_store = false;
-    if (r.pattern == PatternKind::Strided) {
-      addr = regular_address(i, g);
-    } else {
-      addr = irregular_address(i, g, ref_rng_[i]);
-      if (cr.cls == RefClass::PotentiallyIncoherent && tiled_ &&
-          opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
-        kind = OpKind::GuardedStore;
-        double_store = cr.needs_double_store && !opt_.disable_readonly_opt &&
-                       !opt_.suppress_double_store;
-      }
+    if (cr.cls == RefClass::PotentiallyIncoherent && tiled_ &&
+        opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
+      kind = OpKind::GuardedStore;
+      double_store = cr.needs_double_store && !opt_.disable_readonly_opt &&
+                     !opt_.suppress_double_store;
     }
     push_mem(kind, ExecPhase::Work, store_pc_[i], addr, 0, computed, i, g);
     if (double_store) {

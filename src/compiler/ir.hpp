@@ -69,6 +69,13 @@ struct MemRef {
   PatternKind pattern = PatternKind::Strided;
   std::int64_t stride = 1;  ///< elements advanced per iteration (strided only)
   bool is_write = false;
+  /// PointerChase only: the analysis proved the accessible range is confined
+  /// to the target array (a `restrict`-qualified arena pointer, or points-to
+  /// analysis resolving the chain to one allocation).  The alias oracle then
+  /// treats the chase like a named-array reference instead of
+  /// may-alias-everything, which keeps e.g. a linked traversal over a
+  /// dedicated node pool on the cache path unguarded.
+  bool range_known = false;
   IrregularSpec irregular{};
 };
 

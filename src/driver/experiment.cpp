@@ -6,25 +6,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace hm::driver {
 
-std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x00000100000001B3ull;
-  }
-  return h;
-}
+std::uint64_t fnv1a64(std::string_view s) { return hm::fnv1a64(s); }
 
 std::uint64_t derive_seed(std::string_view experiment, std::size_t index) {
   // SplitMix64 finalizer over (name hash, index): any two (experiment,
   // index) pairs get decorrelated seeds, and the value never depends on
   // which worker runs the job or when.
-  std::uint64_t z = fnv1a64(experiment) + 0x9E3779B97F4A7C15ull * (index + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return splitmix64_mix(hm::fnv1a64(experiment) + kGoldenGamma * (index + 1));
 }
 
 std::string SweepPoint::knob(std::string_view key, std::string fallback) const {

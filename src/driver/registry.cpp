@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "workloads/irregular.hpp"
+
 namespace hm::driver {
 
 namespace {
@@ -69,6 +71,14 @@ NamedRegistry<WorkloadFactory>& workloads() {
     reg->put("IS", &make_is);
     reg->put("MG", &make_mg);
     reg->put("SP", &make_sp);
+    // The irregular suite (workloads/irregular.hpp), default parameters;
+    // custom footprint/sparsity/stride variants register their own names.
+    reg->put("SPMV", [](WorkloadScale s) { return make_spmv(s); });
+    reg->put("STENCIL", [](WorkloadScale s) { return make_stencil(s); });
+    reg->put("PCHASE", [](WorkloadScale s) { return make_pchase(s); });
+    reg->put("HIST", [](WorkloadScale s) { return make_hist(s); });
+    reg->put("TRIAD", [](WorkloadScale s) { return make_triad(s); });
+    reg->put("RADIX", [](WorkloadScale s) { return make_radix(s); });
     return reg;
   }();
   return *r;

@@ -93,7 +93,10 @@ PointResult run_point(const SweepPoint& p) {
       CompiledKernel kernel =
           compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
       out.mapped_refs = kernel.classification().num_regular;
-      out.demoted_refs = kernel.classification().demoted_regular;
+      // Both demotion causes (buffer-cap overflow, stride mismatch) leave a
+      // strided ref on the cache path, so the column reports their sum.
+      out.demoted_refs =
+          kernel.classification().demoted_regular + kernel.classification().demoted_stride;
       out.report = sys.run(kernel);
     } else {
       // SPMD: each tile compiles its own slice of the kernel (same loop
@@ -117,7 +120,8 @@ PointResult run_point(const SweepPoint& p) {
         streams.push_back(kernels.back().get());
       }
       out.mapped_refs = kernels.front()->classification().num_regular;
-      out.demoted_refs = kernels.front()->classification().demoted_regular;
+      out.demoted_refs = kernels.front()->classification().demoted_regular +
+                         kernels.front()->classification().demoted_stride;
       out.report = sys.run(streams);
     }
   }

@@ -1,0 +1,150 @@
+#include "workloads/irregular.hpp"
+
+#include <algorithm>
+
+namespace hm {
+
+namespace {
+
+/// Footprint-scaled base quantity with the suite-wide floor.
+std::uint64_t sized(std::uint64_t base, double footprint) {
+  const double v = static_cast<double>(base) * footprint;
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(v), 1024);
+}
+
+/// Draw-range size of a data-dependent reference: sparsity 0 collapses to
+/// the 4 KB floor (a fully reused hot set), sparsity 1 spans the whole
+/// array (uniform dispersal) — floored first, then capped, so arrays
+/// under 4 KB stay fully covered.
+Bytes hot_of(Bytes array_bytes, double sparsity) {
+  const double spread = std::clamp(sparsity, 0.0, 1.0);
+  const Bytes hot = static_cast<Bytes>(static_cast<double>(array_bytes) * spread);
+  return std::min(std::max<Bytes>(hot, 4096), array_bytes);
+}
+
+}  // namespace
+
+Workload make_spmv(WorkloadScale scale, const IrregularParams& p) {
+  // CSR y[row(k)] += val[k] * x[col[k]]: the val/col/y streams tile into
+  // the LM; the x gather is data-dependent with reuse set by the matrix
+  // density (sparsity knob), served by the caches.
+  const std::uint64_t nnz = KernelBuilder::scaled(sized(65'536, p.footprint), scale);
+  KernelBuilder b("SPMV");
+  const unsigned val = b.array("spmv_val", nnz);
+  const unsigned col = b.array("spmv_col", nnz);
+  const unsigned y = b.array("spmv_y", nnz);
+  const std::uint64_t x_elems = std::max<std::uint64_t>(nnz / 4, 8192);
+  const unsigned x = b.array("spmv_x", x_elems);
+  b.read(val);
+  b.read(col);  // the index stream itself is perfectly strided
+  b.write(y);
+  b.gather(x, hot_of(x_elems * 8, p.sparsity));
+  b.compute(1, 2).data_branches(0.05).iterations(nnz).reported(0);
+  return b.build();
+}
+
+Workload make_stencil(WorkloadScale scale, const IrregularParams& p) {
+  // 5-point stencil over three row streams (north/center/south; west and
+  // east are a second walk of the center row) plus a variable-coefficient
+  // gather.  The stride knob models row-major vs strided traversal; all
+  // strided legs share it, so the whole nest stays LM-tileable.
+  const std::int64_t stride = std::max<std::int64_t>(p.stride, 1);
+  const std::uint64_t iters = KernelBuilder::scaled(sized(32'768, p.footprint), scale);
+  const std::uint64_t elems = iters * static_cast<std::uint64_t>(stride);
+  KernelBuilder b("STENCIL");
+  const unsigned north = b.array("st_n", elems);
+  const unsigned row = b.array("st_c", elems);
+  const unsigned south = b.array("st_s", elems);
+  const unsigned out = b.array("st_out", elems);
+  const unsigned coef = b.array("st_coef", 512);
+  b.read(north, stride);
+  b.read(row, stride);
+  b.read(row, stride);  // west/east: a second walk of the center row
+  b.read(south, stride);
+  b.write(out, stride);
+  b.gather(coef, 4096);
+  b.compute(1, 4).data_branches(0.02).iterations(iters).reported(0);
+  return b.build();
+}
+
+Workload make_pchase(WorkloadScale scale, const IrregularParams& p) {
+  // Linked traversal: the chase over the dedicated node pool is bounded
+  // (range_known — a restrict-qualified arena), so it stays on the cache
+  // path unguarded; the chased update of the output list is unbounded and
+  // must be guarded (with the double store: it may alias the read-only
+  // work stream's buffer).  Sparsity sets the resident set of the pool.
+  const std::uint64_t iters = KernelBuilder::scaled(sized(49'152, p.footprint), scale);
+  KernelBuilder b("PCHASE");
+  const unsigned work = b.array("pc_work", iters);
+  const unsigned out = b.array("pc_out", iters);
+  const std::uint64_t pool_elems = std::max<std::uint64_t>(iters, 16'384);
+  const unsigned pool = b.array("pc_pool", pool_elems);
+  b.read(work);
+  b.write(out);
+  b.chase(pool, /*range_known=*/true, /*is_write=*/false, hot_of(pool_elems * 8, p.sparsity));
+  b.chase(out, /*range_known=*/false, /*is_write=*/true, 16 * 1024, /*in_chunk=*/0.2);
+  b.compute(1, 0).data_branches(0.3).iterations(iters).reported(1);
+  return b.build();
+}
+
+Workload make_hist(WorkloadScale scale, const IrregularParams& p) {
+  // Histogram: stream the keys, read-modify-write the bin array through
+  // data-dependent indices.  The bin array has no strided reference, so
+  // both sides of the update are provably alias-free cache-path accesses.
+  const std::uint64_t iters = KernelBuilder::scaled(sized(98'304, p.footprint), scale);
+  KernelBuilder b("HIST");
+  const unsigned keys = b.array("hi_keys", iters);
+  const unsigned bins = b.array("hi_bins", 16'384);  // 128 KB: beyond L1
+  const Bytes bin_hot = hot_of(16'384 * 8, p.sparsity);
+  b.read(keys);
+  b.gather(bins, bin_hot);
+  b.scatter(bins, bin_hot);
+  b.compute(2, 0).data_branches(0.2).iterations(iters).reported(0);
+  return b.build();
+}
+
+Workload make_triad(WorkloadScale scale, const IrregularParams& p) {
+  // STREAM triad a[i] = b[i] + s * c[i]: the pure-bandwidth baseline.
+  const std::uint64_t iters = KernelBuilder::scaled(sized(131'072, p.footprint), scale);
+  KernelBuilder b("TRIAD");
+  const unsigned a = b.array("tr_a", iters);
+  const unsigned bb = b.array("tr_b", iters);
+  const unsigned c = b.array("tr_c", iters);
+  b.read(bb);
+  b.read(c);
+  b.write(a);
+  b.compute(0, 2).iterations(iters).reported(0);
+  return b.build();
+}
+
+Workload make_radix(WorkloadScale scale, const IrregularParams& p) {
+  // One radix-partition pass: stride-1 key/output streams tile into the
+  // LM; the stride-2 count walk advances twice as fast, so the equal-
+  // buffer geometry cannot host it and the classifier demotes it to the
+  // caches; the in-place scatter may alias the mapped (read-only) key
+  // stream and is guarded with the double store.
+  const std::uint64_t iters = KernelBuilder::scaled(sized(65'536, p.footprint), scale);
+  KernelBuilder b("RADIX");
+  const unsigned keys = b.array("rx_keys", iters);
+  const unsigned counts = b.array("rx_counts", 2 * iters);
+  const unsigned out = b.array("rx_out", iters);
+  b.read(keys);
+  b.read(counts, 2);  // bytes/iter mismatch: demoted to the cache path
+  b.write(out);
+  b.scatter(keys, /*hot_bytes=*/32 * 1024, /*in_chunk=*/0.25);
+  b.compute(3, 0).data_branches(0.15).iterations(iters).reported(1);
+  return b.build();
+}
+
+const std::vector<std::string>& irregular_names() {
+  static const std::vector<std::string> names = {"SPMV", "STENCIL", "PCHASE",
+                                                 "HIST",  "TRIAD",  "RADIX"};
+  return names;
+}
+
+std::vector<Workload> all_irregular_workloads(WorkloadScale scale) {
+  return {make_spmv(scale),  make_stencil(scale), make_pchase(scale),
+          make_hist(scale),  make_triad(scale),   make_radix(scale)};
+}
+
+}  // namespace hm

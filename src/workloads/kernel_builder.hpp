@@ -1,0 +1,86 @@
+// KernelBuilder: the reusable construction API behind the workload suites.
+//
+// A workload in this codebase is a LoopNest — arrays laid out in the SM,
+// one MemRef per static reference, alias facts and compute intensity —
+// wrapped in a Workload with reporting metadata.  The NAS-signature
+// kernels hand-assemble those structs; KernelBuilder packages the same
+// moves (aligned SM layout, per-reference seed derivation, ref/alias/
+// compute accumulation) behind a small fluent API so new kernel families
+// (workloads/irregular.*) are a dozen declarative lines each:
+//
+//   KernelBuilder b("SPMV");
+//   const unsigned val = b.array("val", nnz);
+//   const unsigned x   = b.array("x", cols);
+//   b.read(val);
+//   b.gather(x, /*hot_bytes=*/32 * 1024);
+//   b.compute(1, 2).iterations(nnz);
+//   Workload w = b.build();
+//
+// Array bases advance in 64 KB steps (>= any LM buffer size) so chunk
+// bases stay aligned for every tiling geometry, exactly like the NAS
+// layout.  Every irregular reference receives a deterministic seed derived
+// from (kernel name, base seed, ref index): two builds of the same kernel
+// replay identical address streams, and distinct kernels never share a
+// stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/ir.hpp"
+#include "workloads/nas.hpp"
+
+namespace hm {
+
+class KernelBuilder {
+ public:
+  /// @p base_seed decorrelates this kernel's irregular streams from other
+  /// kernels'; 0 derives it from @p name, so distinct names are enough.
+  explicit KernelBuilder(std::string name, std::uint64_t base_seed = 0);
+
+  /// Place an array in the SM (64 KB-aligned base).  Returns the array
+  /// index the reference builders below take.
+  unsigned array(const std::string& name, std::uint64_t elements, Bytes elem_size = 8);
+
+  /// Strided reference over @p array — the LM-tiling candidate class.
+  /// Returns the reference index (for alias()).
+  unsigned read(unsigned array, std::int64_t stride = 1);
+  unsigned write(unsigned array, std::int64_t stride = 1);
+
+  /// Indirect a[idx[i]]-style access over @p target.  @p hot_bytes
+  /// concentrates the element draws on the array's first hot_bytes
+  /// (0 = uniform over the array); @p in_chunk is the fraction landing in
+  /// the LM-mapped chunk (drives directory hits for guarded refs).
+  unsigned gather(unsigned target, Bytes hot_bytes = 0, double in_chunk = 0.0);
+  unsigned scatter(unsigned target, Bytes hot_bytes = 0, double in_chunk = 0.0);
+
+  /// Pointer-chase reference over @p target.  @p range_known models the
+  /// analysis bounding the chain to the target allocation (the chase then
+  /// takes the structural alias verdict instead of may-alias-everything).
+  unsigned chase(unsigned target, bool range_known, bool is_write = false,
+                 Bytes hot_bytes = 0, double in_chunk = 0.0);
+
+  KernelBuilder& compute(unsigned int_ops, unsigned fp_ops);
+  KernelBuilder& data_branches(double fraction);
+  KernelBuilder& iterations(std::uint64_t iters);
+  KernelBuilder& alias(unsigned ref_a, unsigned ref_b, AliasVerdict verdict);
+  /// Table 3-style metadata; build() defaults total to the ref count.
+  KernelBuilder& reported(unsigned guarded, unsigned total = 0);
+
+  /// Iteration-count scaling with the suite-wide floor (1024), shared with
+  /// the NAS builders' convention.
+  static std::uint64_t scaled(std::uint64_t base_iters, WorkloadScale scale);
+
+  Workload build() const;
+
+ private:
+  unsigned push_ref(MemRef ref);
+
+  Workload w_;
+  std::uint64_t base_seed_ = 0;
+  Addr next_base_;
+  unsigned reported_guarded_ = 0;
+  unsigned reported_total_ = 0;
+};
+
+}  // namespace hm

@@ -177,6 +177,219 @@ TEST(Classify, GuardedRefsCount) {
   EXPECT_EQ(c.total_refs(), 5u);
 }
 
+TEST(Classify, BoundedPointerChaseOverDistinctArrayIsIrregular) {
+  // The analysis bounded the chase to its own node pool (range_known): the
+  // structural verdict applies, the pool aliases nothing mapped, and the
+  // traversal stays on the cache path unguarded.
+  LoopNest loop = fig3_loop();
+  loop.arrays.push_back({.name = "pool", .base = 0x31'0000, .elem_size = 8, .elements = 4096});
+  loop.refs.push_back({.name = "*node", .array = 3, .pattern = PatternKind::PointerChase,
+                       .range_known = true});
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[4].cls, RefClass::Irregular);
+  EXPECT_FALSE(c.refs[4].needs_double_store);
+}
+
+TEST(Classify, BoundedPointerChaseOverMappedArrayIsStillIncoherent) {
+  // Bounding the range does not remove the hazard when the bound IS a
+  // mapped array: the chase may still touch the stale SM copy.
+  LoopNest loop = fig3_loop();
+  loop.refs[3].range_known = true;  // ptr[..] targets array 0, which is mapped
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[3].cls, RefClass::PotentiallyIncoherent);
+}
+
+TEST(Classify, BoundedPointerChaseWriteOverMappedReadOnlyArrayKeepsDoubleStore) {
+  // Same bound-to-mapped-array case, as a write: the target's buffer is
+  // read-only (no strided write), so the guarded store alone would lose the
+  // update — the double store must survive the range_known relaxation.
+  LoopNest loop = fig3_loop();
+  loop.refs[3].range_known = true;
+  loop.refs[3].array = 1;  // b: mapped, never written by a strided ref
+  loop.refs[3].is_write = true;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[3].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_TRUE(c.refs[3].needs_double_store);
+}
+
+TEST(Classify, BoundedPointerChaseWriteOverWrittenBackArrayAvoidsDoubleStore) {
+  // range_known makes the chase as analyzable as a named-array reference:
+  // when its bound is a mapped array that IS written back, the guarded
+  // store's update survives the tile and no double store is needed.
+  LoopNest loop = fig3_loop();
+  loop.refs[3].range_known = true;
+  loop.refs[3].is_write = true;  // ptr targets array 0: mapped, strided-written
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[3].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_FALSE(c.refs[3].needs_double_store);
+}
+
+TEST(Classify, StrideMismatchDemotesToCachePath) {
+  // The radix shape: two stride-1 streams and a stride-2 count walk.  The
+  // equal-buffer tiling geometry cannot host the mismatched advance, so the
+  // count walk is demoted to the caches instead of plan_tiling rejecting
+  // the whole loop.
+  LoopNest loop;
+  loop.name = "radix";
+  loop.arrays = {
+      {.name = "keys", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "counts", .base = 0x11'0000, .elem_size = 8, .elements = 8192},
+      {.name = "out", .base = 0x31'0000, .elem_size = 8, .elements = 4096},
+  };
+  loop.refs = {
+      {.name = "keys[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "counts[2i]", .array = 1, .pattern = PatternKind::Strided, .stride = 2},
+      {.name = "out[i]", .array = 2, .pattern = PatternKind::Strided, .stride = 1,
+       .is_write = true},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::Irregular);
+  EXPECT_EQ(c.refs[1].lm_buffer, -1);
+  EXPECT_EQ(c.refs[2].cls, RefClass::Regular);
+  EXPECT_EQ(c.demoted_stride, 1u);
+  EXPECT_EQ(c.num_regular, 2u);
+}
+
+TEST(Classify, DemotedStrideAliasingMappedArrayIsGuarded) {
+  // {a[i] stride-1 read (mapped), a[2i] stride-2 write (demoted)}: the
+  // demoted write runs against the SM while a chunk of `a` is live in the
+  // LM — it is exactly as potentially incoherent as an indirect write
+  // there.  No double store, though: the demoted write still counts as a
+  // strided write to `a` (array_written_by_strided), so the buffer is
+  // written back and a guarded hit's update survives the tile.
+  LoopNest loop;
+  loop.name = "mixed";
+  loop.arrays = {{.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 8192}};
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "a[2i]", .array = 0, .pattern = PatternKind::Strided, .stride = 2,
+       .is_write = true},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_FALSE(c.refs[1].needs_double_store);
+  EXPECT_EQ(c.demoted_stride, 1u);
+  EXPECT_EQ(c.num_irregular, 0u);  // reclassified, not double-counted
+  EXPECT_EQ(c.guarded_refs(), 1u);
+}
+
+TEST(Classify, DemotedStrideWriteAliasingReadOnlyMappedArrayNeedsDoubleStore) {
+  // A demoted strided write that may alias (explicit fact) a DIFFERENT,
+  // read-only mapped array: its buffer skips the write-back, so the
+  // guarded store alone would lose the update — double store required.
+  LoopNest loop;
+  loop.name = "mixed_ro";
+  loop.arrays = {
+      {.name = "b", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "a", .base = 0x11'0000, .elem_size = 8, .elements = 8192},
+  };
+  loop.refs = {
+      {.name = "b[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "a[2i]", .array = 1, .pattern = PatternKind::Strided, .stride = 2,
+       .is_write = true},
+  };
+  loop.iterations = 4096;
+  loop.alias_facts.push_back({.ref_a = 0, .ref_b = 1, .verdict = AliasVerdict::MayAlias});
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::PotentiallyIncoherent);
+  EXPECT_TRUE(c.refs[1].needs_double_store);
+}
+
+TEST(Classify, CapDemotedRefAliasingMappedSameArrayIsGuarded) {
+  // The same hazard through the buffer-cap path: with cap=1 the second
+  // walk of `a` is demoted, but `a`'s chunk is still mapped by ref 0.
+  LoopNest loop;
+  loop.name = "cap_alias";
+  loop.arrays = {{.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096}};
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1,
+       .is_write = true},
+      {.name = "a[i]'", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle, /*max_buffers=*/1);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::PotentiallyIncoherent);
+  // The mapped ref writes back, so the guarded read needs no double store.
+  EXPECT_FALSE(c.refs[1].needs_double_store);
+  EXPECT_EQ(c.demoted_regular, 1u);
+}
+
+TEST(Classify, DominantAdvanceTieBreaksToProgramOrder) {
+  LoopNest loop;
+  loop.name = "tie";
+  loop.arrays = {
+      {.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "b", .base = 0x11'0000, .elem_size = 8, .elements = 8192},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "b[2i]", .array = 1, .pattern = PatternKind::Strided, .stride = 2},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);   // earliest advance wins the tie
+  EXPECT_EQ(c.refs[1].cls, RefClass::Irregular);
+  EXPECT_EQ(c.demoted_stride, 1u);
+}
+
+TEST(Classify, AdvanceIsBytesNotElements) {
+  // stride 2 x 4-byte elements advances the same 8 bytes/iteration as
+  // stride 1 x 8-byte elements: both are mapped.
+  LoopNest loop;
+  loop.name = "bytes";
+  loop.arrays = {
+      {.name = "a", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "h", .base = 0x11'0000, .elem_size = 4, .elements = 8192},
+  };
+  loop.refs = {
+      {.name = "a[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "h[2i]", .array = 1, .pattern = PatternKind::Strided, .stride = 2},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::Regular);
+  EXPECT_EQ(c.demoted_stride, 0u);
+}
+
+TEST(Classify, IndirectGatherWithStridedIndexStreamSplitsPaths) {
+  // The SpMV shape: the index stream col[k] is perfectly strided (LM
+  // path); the gather x[col[k]] it feeds is data-dependent over a distinct
+  // array (cache path, unguarded).
+  LoopNest loop;
+  loop.name = "spmv";
+  loop.arrays = {
+      {.name = "col", .base = 0x1'0000, .elem_size = 8, .elements = 4096},
+      {.name = "x", .base = 0x11'0000, .elem_size = 8, .elements = 4096},
+  };
+  loop.refs = {
+      {.name = "col[k]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "x[col[k]]", .array = 1, .pattern = PatternKind::Indirect},
+  };
+  loop.iterations = 4096;
+  AliasOracle oracle(loop);
+  const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.refs[0].cls, RefClass::Regular);
+  EXPECT_EQ(c.refs[1].cls, RefClass::Irregular);
+  EXPECT_EQ(c.guarded_refs(), 0u);
+}
+
 class BufferCapSweep : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(BufferCapSweep, NeverMoreRegularsThanCap) {

@@ -53,6 +53,41 @@ TEST(Codegen, HybridStartsWithDirConfig) {
   EXPECT_EQ(op.dir_buffer_size, k.plan().buffer_size);
 }
 
+TEST(Codegen, DemotedStridedRefAliasingReadOnlyMappedArrayEmitsGuardedDoubleStore) {
+  // {b[i] read (mapped, read-only), a[2i] write (stride-demoted, explicit
+  // may-alias with b)}: the demoted write is potentially incoherent
+  // against the live LM chunk of `b`, whose read-only buffer skips the
+  // write-back — the hybrid variant must emit a guarded store plus the
+  // conventional store (double store), at SM addresses.
+  LoopNest loop;
+  loop.name = "mixed_ro";
+  loop.arrays = {
+      {.name = "b", .base = 0x100'0000, .elem_size = 8, .elements = 4096},
+      {.name = "a", .base = 0x200'0000, .elem_size = 8, .elements = 8192},
+  };
+  loop.refs = {
+      {.name = "b[i]", .array = 0, .pattern = PatternKind::Strided, .stride = 1},
+      {.name = "a[2i]", .array = 1, .pattern = PatternKind::Strided, .stride = 2,
+       .is_write = true},
+  };
+  loop.iterations = 4096;
+  loop.int_ops_per_iter = 1;
+  loop.alias_facts.push_back({.ref_a = 0, .ref_b = 1, .verdict = AliasVerdict::MayAlias});
+
+  CompiledKernel k = compile(loop, {.variant = CodegenVariant::HybridProtocol},
+                             kLmBase, kLmSize);
+  ASSERT_EQ(k.classification().refs[1].cls, RefClass::PotentiallyIncoherent);
+  ASSERT_TRUE(k.classification().refs[1].needs_double_store);
+  const auto ops = drain(k);
+  EXPECT_EQ(count_kind(ops, OpKind::GuardedStore), loop.iterations);
+  // One conventional store per guarded store (the double store)...
+  EXPECT_EQ(count_kind(ops, OpKind::Store), loop.iterations);
+  // ...and every guarded access addresses the SM, never the LM window.
+  for (const auto& op : ops)
+    if (op.kind == OpKind::GuardedStore || op.kind == OpKind::Store)
+      EXPECT_LT(op.addr, kLmBase);
+}
+
 TEST(Codegen, CacheVariantHasNoDmaOrGuards) {
   CompiledKernel k = compile(fig3_loop(), {.variant = CodegenVariant::CacheOnly},
                              kLmBase, kLmSize);

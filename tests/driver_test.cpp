@@ -325,7 +325,9 @@ TEST(Registry, BuiltinsAndPaperExperimentsAreRegistered) {
   EXPECT_TRUE(has_machine("hybrid_oracle"));
   EXPECT_TRUE(has_machine("cache_based"));
   EXPECT_FALSE(has_machine("nonexistent"));
-  EXPECT_EQ(workload_names().size(), 6u);
+  EXPECT_EQ(workload_names().size(), 12u);  // 6 NAS + 6 irregular
+  for (const char* name : {"SPMV", "STENCIL", "PCHASE", "HIST", "TRIAD", "RADIX"})
+    EXPECT_TRUE(has_workload(name)) << name;
   EXPECT_THROW(make_machine("nonexistent"), std::out_of_range);
   EXPECT_THROW(make_workload("nonexistent", {}), std::out_of_range);
 

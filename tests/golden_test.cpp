@@ -10,13 +10,18 @@
 //    RunReport field serialization of two fixed 2-core points, captured
 //    from the full-run-occupancy engine (PR 4), so future refactors
 //    preserve MULTI-tile behavior, not just the 1-core fast path.
+//  * The irregular suite (PR 5) pins the same two anchors for the six new
+//    kernels: tests/golden/irregular.txt holds the rendered table at scale
+//    0.05, and tests/golden/irregular_1core.txt the full single-core
+//    RunReport serialization of every kernel on both machines.
 //
-// If an intentional engine change alters simulated metrics, regenerate the
-// goldens (hm_sweep --filter <name> --scale 0.05 --no-cache --quiet for the
-// tables; this file's multicore_2core_text() for the 2-core capture) and
+// If an intentional engine change alters simulated metrics, regenerate
+// every golden with scripts/update_goldens.sh (it reruns this binary with
+// HM_UPDATE_GOLDENS=1, which rewrites the files instead of comparing) and
 // bump hm::kEngineVersion in the same commit.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -37,11 +42,34 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-class PaperGolden : public ::testing::TestWithParam<const char*> {};
+std::string golden_path(const std::string& name) {
+  return std::string(HM_SOURCE_DIR) + "/tests/golden/" + name + ".txt";
+}
 
-TEST_P(PaperGolden, SingleCoreTableIsByteIdenticalToPreTileEngine) {
-  const ExperimentSpec* spec = find_experiment(GetParam());
-  ASSERT_NE(spec, nullptr) << GetParam();
+/// Compare @p got against the named golden — or, when HM_UPDATE_GOLDENS is
+/// set in the environment (scripts/update_goldens.sh), rewrite the golden
+/// from @p got and pass.  Every golden assertion funnels through here so
+/// the capture path can never drift from the comparison path.
+void expect_golden(const std::string& name, const std::string& got, const char* what) {
+  const std::string path = golden_path(name);
+  if (std::getenv("HM_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    out << got;
+    ASSERT_TRUE(static_cast<bool>(out)) << "cannot write golden " << path;
+    std::printf("updated golden %s\n", path.c_str());
+    return;
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty()) << "missing golden file for " << name
+                             << " (capture it with scripts/update_goldens.sh)";
+  EXPECT_EQ(got, want) << what;
+}
+
+/// Render the named experiment at the golden scale (0.05) and assert zero
+/// failures and zero occupancy-horizon overflows along the way.
+std::string rendered_table(const char* name) {
+  const ExperimentSpec* spec = find_experiment(name);
+  if (spec == nullptr) return {};
 
   SweepOptions opt;
   opt.jobs = 2;  // parallel == serial is separately enforced by driver_test
@@ -49,17 +77,22 @@ TEST_P(PaperGolden, SingleCoreTableIsByteIdenticalToPreTileEngine) {
   const SweepOutcome out = run_sweep(*spec, opt);
   EXPECT_EQ(out.failures, 0u);
 
-  // The paper tables are only trustworthy when the occupancy model covered
-  // the whole run: any horizon overflow means understated contention.
+  // The tables are only trustworthy when the occupancy model covered the
+  // whole run: any horizon overflow means understated contention.
   for (const PointResult& r : out.points)
     if (r.ok)
       EXPECT_EQ(r.report.contention_overflows(), 0u)
           << r.point.label << " overflowed the occupancy horizon";
+  return render(out);
+}
 
-  const std::string want =
-      read_file(std::string(HM_SOURCE_DIR) + "/tests/golden/" + GetParam() + ".txt");
-  ASSERT_FALSE(want.empty()) << "missing golden file for " << GetParam();
-  EXPECT_EQ(render(out), want) << GetParam() << " table drifted from the pre-tile engine";
+class PaperGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperGolden, SingleCoreTableIsByteIdenticalToPreTileEngine) {
+  const std::string got = rendered_table(GetParam());
+  ASSERT_FALSE(got.empty()) << GetParam();
+  expect_golden(GetParam(), got,
+                "table drifted from the pre-tile engine");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGolden,
@@ -70,8 +103,7 @@ INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGolden,
 // ---------------------------------------------------------------------------
 
 /// The 2-core capture: one SPMD point per machine kind, every RunReport
-/// field serialized.  Regenerate tests/golden/multicore_2core.txt from this
-/// exact text when an intentional engine change shifts multicore metrics.
+/// field serialized.
 std::string multicore_2core_text() {
   std::string text;
   for (const char* machine : {"hybrid_coherent", "cache_based"}) {
@@ -94,10 +126,48 @@ std::string multicore_2core_text() {
 TEST(MulticoreGolden, TwoCoreReportIsByteIdentical) {
   const std::string got = multicore_2core_text();
   ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
-  const std::string want =
-      read_file(std::string(HM_SOURCE_DIR) + "/tests/golden/multicore_2core.txt");
-  ASSERT_FALSE(want.empty()) << "missing golden file multicore_2core.txt";
-  EXPECT_EQ(got, want) << "2-core SPMD report drifted from the occupancy-engine capture";
+  expect_golden("multicore_2core", got,
+                "2-core SPMD report drifted from the occupancy-engine capture");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(IrregularGolden, TableIsByteIdentical) {
+  const std::string got = rendered_table("irregular");
+  ASSERT_FALSE(got.empty());
+  expect_golden("irregular", got, "irregular-suite table drifted");
+}
+
+/// Single-core pin for every irregular kernel on both machines: the full
+/// RunReport field serialization, so any engine or classifier change that
+/// shifts a single counter of the new workload family is caught here.
+std::string irregular_1core_text() {
+  std::string text;
+  for (const char* kernel : {"SPMV", "STENCIL", "PCHASE", "HIST", "TRIAD", "RADIX"}) {
+    for (const char* machine : {"hybrid_coherent", "cache_based"}) {
+      SweepPoint p;
+      p.label = std::string("golden_1core/") + kernel + "/" + machine;
+      p.machine = machine;
+      p.workload = kernel;
+      p.scale = 0.05;
+      const PointResult r = run_point(p);
+      if (!r.ok) return "FAILED: " + r.error;
+      text += p.label;
+      text += " mapped=" + std::to_string(r.mapped_refs);
+      text += " demoted=" + std::to_string(r.demoted_refs);
+      text += '\n';
+      hm::append_report_fields(text, r.report);
+      text += '\n';
+    }
+  }
+  return text;
+}
+
+TEST(IrregularGolden, SingleCoreReportsAreByteIdentical) {
+  const std::string got = irregular_1core_text();
+  ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
+  expect_golden("irregular_1core", got,
+                "irregular-suite 1-core reports drifted");
 }
 
 }  // namespace

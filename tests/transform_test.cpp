@@ -110,11 +110,30 @@ TEST(Transform, NoRegularRefsDegeneratePlan) {
   EXPECT_TRUE(p.buffers.empty());
 }
 
-TEST(Transform, MixedBytesPerIterationRejected) {
+TEST(Transform, MixedBytesPerIterationDemotedThenPlanned) {
+  // classify() now resolves the LM-vs-cache decision for mismatched
+  // strides: the off-advance ref is demoted to the caches and the plan is
+  // built over the dominant advance instead of rejecting the loop.
   LoopNest loop = make_loop(2, 0);
   loop.refs[1].stride = 2;  // 16 B/iter vs 8 B/iter
   AliasOracle oracle(loop);
   const Classification c = classify(loop, oracle);
+  EXPECT_EQ(c.demoted_stride, 1u);
+  const TilePlan p = plan_tiling(loop, c, kLmBase, kLmSize);
+  ASSERT_EQ(p.buffers.size(), 1u);
+  EXPECT_EQ(p.buffers[0].ref, 0u);
+}
+
+TEST(Transform, MixedBytesPerIterationStillRejectedIfForced) {
+  // The geometry guard itself survives: a hand-crafted classification that
+  // maps both advances is rejected by plan_tiling.
+  LoopNest loop = make_loop(2, 0);
+  loop.refs[1].stride = 2;
+  Classification c;
+  c.refs.resize(2);
+  c.refs[0] = {.cls = RefClass::Regular, .needs_double_store = false, .lm_buffer = 0};
+  c.refs[1] = {.cls = RefClass::Regular, .needs_double_store = false, .lm_buffer = 1};
+  c.num_regular = 2;
   EXPECT_THROW(plan_tiling(loop, c, kLmBase, kLmSize), std::invalid_argument);
 }
 

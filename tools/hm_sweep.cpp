@@ -1,9 +1,12 @@
 // hm_sweep — unified driver for the paper-reproduction experiment suite.
 //
-//   hm_sweep list                         what can run, and how many points
+// The subcommand is mandatory (a flag-only invocation is a usage error, so
+// scripts cannot drift between implicit and explicit spellings):
+//
+//   hm_sweep list [flags]                 what can run, and how many points
 //                                         (--format json: machine-readable
 //                                         experiment inventory for scripting)
-//   hm_sweep [run] [flags]                run experiments (default: all)
+//   hm_sweep run [flags]                  run experiments (default: all)
 //     --filter SUBSTR     only experiments whose name contains SUBSTR
 //     --jobs N|auto       worker threads (default auto = all cores)
 //     --format table|json|csv             stdout format (default table)
@@ -11,8 +14,9 @@
 //                         (missing parent directories are created)
 //     --cache-dir DIR     on-disk memo cache (default .hm_sweep_cache)
 //     --no-cache          disable the on-disk memo cache
-//     --scale F           override every spec's workload scale (quick looks;
-//                         the paper tables use each spec's own scale)
+//     --scale F|full      override every spec's workload scale (quick looks);
+//                         'full' spells out the default — each spec's own
+//                         full scale, the one the paper tables use
 //     --quiet             no progress on stderr
 //
 // Exit status: 0 all points simulated, 1 any point failed, 2 usage error.
@@ -52,9 +56,9 @@ struct CliOptions {
 
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s [list|run] [--filter SUBSTR] [--jobs N|auto]\n"
+               "usage: %s <list|run> [--filter SUBSTR] [--jobs N|auto]\n"
                "       [--format table|json|csv] [--out DIR] [--cache-dir DIR]\n"
-               "       [--no-cache] [--scale F] [--quiet]\n",
+               "       [--no-cache] [--scale F|full] [--quiet]\n",
                argv0);
   return code;
 }
@@ -91,12 +95,21 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
     if (i + 1 >= argc) return nullptr;
     return argv[++i];
   };
+  // The subcommand is mandatory and comes first: `hm_sweep run ...` or
+  // `hm_sweep list ...`.  A flag-only invocation used to silently mean
+  // `run`, which let scripts drift between the two spellings — now it is a
+  // usage error (--help/-h stays valid on its own).
+  bool have_subcommand = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "list") {
-      opt.list = true;
-    } else if (arg == "run") {
-      // default
+    if (arg == "list" || arg == "run") {
+      if (i != 1) {
+        std::fprintf(stderr, "the subcommand must come first: %s %s ...\n", argv[0],
+                     arg.c_str());
+        return false;
+      }
+      have_subcommand = true;
+      opt.list = arg == "list";
     } else if (arg == "--filter") {
       const char* v = need_value(i);
       if (!v) return false;
@@ -128,9 +141,14 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
     } else if (arg == "--scale") {
       const char* v = need_value(i);
       if (!v) return false;
+      if (std::strcmp(v, "full") == 0) {
+        // Explicit spelling of the default: every spec's own (full) scale.
+        opt.scale.reset();
+        continue;
+      }
       double scale = 0.0;
       if (!parse_positive_double(v, scale)) {
-        std::fprintf(stderr, "--scale expects a positive number, got: %s\n", v);
+        std::fprintf(stderr, "--scale expects a positive number or 'full', got: %s\n", v);
         return false;
       }
       opt.scale = scale;
@@ -143,6 +161,10 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (!have_subcommand) {
+    std::fprintf(stderr, "missing subcommand: expected 'list' or 'run'\n");
+    return false;
   }
   return true;
 }
