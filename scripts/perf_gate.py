@@ -18,6 +18,14 @@ Benchmarks present on only one side are reported but never fail the gate
 (adding/removing a benchmark is not a regression), so the gate stays
 usable while the bench suite evolves.
 
+Noisy-host tolerance: when the first pass finds regressions, the gate
+re-measures ONCE (same reps, fresh processes) and scores the regressed
+benchmarks again, printing both medians side by side.  Only a benchmark
+slow in BOTH passes fails the gate — a one-off CI-runner hiccup (noisy
+neighbor, thermal dip) self-clears instead of red-flagging the PR.  The
+--fresh dry-run hook has nothing to re-measure, so it keeps single-pass
+semantics (which is also what the gate's own self-test relies on).
+
 Dry-run hook: --fresh FILE skips running the benchmark and scores a
 pre-captured google-benchmark JSON instead.  That is how the gate itself
 is tested — double every baseline throughput and the same fresh file must
@@ -121,25 +129,29 @@ def main() -> int:
     if not baseline:
         fail(f"{args.baseline}: no benchmarks with items_per_second")
 
+    def measure() -> dict:
+        """Median-of-reps throughput for every benchmark (one full pass)."""
+        reps = [throughputs(run_bench(args.bench, args.min_time, r + 1))
+                for r in range(args.reps)]
+        medians = {}
+        for name in reps[0]:
+            samples = [r[name] for r in reps if name in r]
+            if samples:
+                medians[name] = statistics.median(samples)
+        return medians
+
     if args.fresh:
-        reps = [throughputs(load_json(args.fresh))]
+        fresh = throughputs(load_json(args.fresh))
     else:
         if not os.access(args.bench, os.X_OK):
             fail(f"{args.bench}: not an executable (build with HM_BUILD_BENCH=ON)")
-        reps = [throughputs(run_bench(args.bench, args.min_time, r + 1))
-                for r in range(args.reps)]
-
-    fresh = {}
-    for name in reps[0]:
-        samples = [r[name] for r in reps if name in r]
-        if samples:
-            fresh[name] = statistics.median(samples)
+        fresh = measure()
     if not fresh:
         fail("fresh measurement produced no benchmarks with items_per_second")
 
     floor = 1.0 - args.threshold
     regressions = []
-    print(f"perf_gate: median of {len(reps)} rep(s) vs {args.baseline} "
+    print(f"perf_gate: median of {args.reps} rep(s) vs {args.baseline} "
           f"(fail below {floor:.2f}x)")
     print(f"  {'benchmark':<32} {'baseline':>14} {'fresh':>14} {'ratio':>8}")
     for name in sorted(set(baseline) | set(fresh)):
@@ -154,12 +166,40 @@ def main() -> int:
         print(f"  {name:<32} {baseline[name]:>14.3e} {fresh[name]:>14.3e} "
               f"{ratio:>7.2f}x{verdict}")
         if ratio < floor:
-            regressions.append((name, ratio))
+            regressions.append(name)
+
+    if regressions and not args.fresh:
+        # Second chance for a noisy host: re-measure once and fail only what
+        # is slow in both passes, printing both medians for the CI log.
+        print(f"perf_gate: {len(regressions)} regression(s) — re-measuring once "
+              "to rule out host noise")
+        second = measure()
+        confirmed = []
+        print(f"  {'benchmark':<32} {'1st median':>14} {'2nd median':>14} "
+              f"{'2nd ratio':>10}")
+        for name in regressions:
+            if name not in second:
+                confirmed.append((name, 0.0))
+                print(f"  {name:<32} {fresh[name]:>14.3e} {'-':>14} {'gone':>10}")
+                continue
+            ratio = second[name] / baseline[name]
+            verdict = "" if ratio >= floor else "  << CONFIRMED"
+            print(f"  {name:<32} {fresh[name]:>14.3e} {second[name]:>14.3e} "
+                  f"{ratio:>9.2f}x{verdict}")
+            if ratio < floor:
+                confirmed.append((name, ratio))
+        regressions = confirmed
+        if not regressions:
+            print("perf_gate: first-pass regressions did not reproduce "
+                  "(host noise) — gate passes")
+    else:
+        regressions = [(name, fresh[name] / baseline[name]) for name in regressions]
 
     if regressions:
         worst = min(regressions, key=lambda nr: nr[1])
         print(f"perf_gate: FAIL — {len(regressions)} benchmark(s) regressed "
-              f">{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+              f">{args.threshold:.0%} in both passes "
+              f"(worst: {worst[0]} at {worst[1]:.2f}x)",
               file=sys.stderr)
         return 1
     print("perf_gate: OK")

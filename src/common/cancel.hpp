@@ -1,0 +1,60 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is armed by the sweep layer (watchdog wall deadlines, or a
+// deterministic simulated-cycle budget) and polled by the engine at coarse
+// boundaries: System::run checks between tiles, OooCore::run every
+// kCancelCheckStride micro-ops.  Polling a null token is a single pointer
+// compare, so the default (no deadline) run pays nothing measurable.
+//
+// Wall deadlines protect against hangs but are inherently nondeterministic
+// (a point near the limit may time out on one host and finish on another);
+// the cycle budget is a pure function of the simulation and therefore
+// deterministic — use it wherever byte-identical reruns matter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hm {
+
+/// How often OooCore::run polls its token, in micro-ops (power of two).
+/// At ~10M simulated accesses/s a stride of 16Ki uops bounds cancellation
+/// latency well under a millisecond while keeping the poll off the profile.
+inline constexpr std::uint64_t kCancelCheckStride = 1ull << 14;
+
+class CancelToken {
+ public:
+  /// Request cancellation (thread-safe; typically the watchdog thread).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Deterministic budget on a single point's simulated cycles (0 = none).
+  /// Set before the run starts; read-only while the engine executes.
+  void set_cycle_limit(std::uint64_t cycles) noexcept { cycle_limit_ = cycles; }
+  std::uint64_t cycle_limit() const noexcept { return cycle_limit_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::uint64_t cycle_limit_ = 0;
+};
+
+/// Thrown by the engine when a cooperative check fires.  The reason
+/// distinguishes an external (watchdog/user) cancellation from the token's
+/// own deterministic cycle budget — the sweep layer maps both to the
+/// `timeout` error class but renders deterministic text for the latter.
+class CancelledError : public std::runtime_error {
+ public:
+  enum class Reason : std::uint8_t { External, CycleLimit };
+
+  CancelledError(Reason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+}  // namespace hm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/bitops.hpp"
 
@@ -15,7 +16,7 @@ OooCore::OooCore(CoreConfig cfg, MemoryHierarchy& hierarchy, LocalMemory* lm,
     throw std::invalid_argument("core widths/ROB must be non-zero");
 }
 
-RunResult OooCore::run(InstrStream& program) {
+RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
   RunResult res;
 
   Counter& c_int = stats_.counter("int_ops");
@@ -59,6 +60,20 @@ RunResult OooCore::run(InstrStream& program) {
   MicroOp op;
   while (program.next(op)) {
     if (op.kind == OpKind::PhaseMark) continue;  // metadata only
+
+    // Cooperative cancellation: a masked poll per uop keeps the check off
+    // the profile (and free when no token is armed).  The cycle budget is
+    // compared against dispatch time, the monotone front of the model.
+    if (cancel != nullptr && (uop_index & (kCancelCheckStride - 1)) == 0) {
+      if (cancel->cancelled())
+        throw CancelledError(CancelledError::Reason::External,
+                             "run cancelled (watchdog or external)");
+      if (cancel->cycle_limit() != 0 && dispatch_cycle > cancel->cycle_limit())
+        throw CancelledError(CancelledError::Reason::CycleLimit,
+                             "cycle budget exceeded (" +
+                                 std::to_string(cancel->cycle_limit()) +
+                                 " simulated cycles)");
+    }
 
     // ---- Dispatch: fetch-width pacing + ROB occupancy ------------------
     if (dispatched_in_cycle >= cfg_.fetch_width) {

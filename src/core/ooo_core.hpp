@@ -31,6 +31,7 @@
 
 #include "coherence/directory.hpp"
 #include "common/byte_store.hpp"
+#include "common/cancel.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/bpred.hpp"
@@ -91,7 +92,10 @@ class OooCore {
 
   /// Run @p program to completion from a cold pipeline (caches keep their
   /// contents; call hierarchy.reset() separately for a cold-cache run).
-  RunResult run(InstrStream& program);
+  /// @p cancel (optional) is polled every kCancelCheckStride micro-ops: an
+  /// externally cancelled token or an exceeded cycle budget aborts the run
+  /// with CancelledError — the cooperative half of the sweep watchdog.
+  RunResult run(InstrStream& program, const CancelToken* cancel = nullptr);
 
   /// Issue-slot pool for a class of fully pipelined functional units: up to
   /// `width` operations may start per cycle.  Unlike a greedy busy-until

@@ -1,0 +1,131 @@
+#include "driver/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/hash.hpp"
+#include "driver/faults.hpp"
+
+namespace hm::driver {
+
+namespace {
+
+constexpr char kMagic[] = "J1 ";  // record format tag + space
+
+std::string journal_path(const std::string& dir, const std::string& experiment) {
+  return dir + "/" + experiment + ".jsonl";
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(const std::string& dir, const std::string& experiment) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  path_ = journal_path(dir, experiment);
+  file_ = std::fopen(path_.c_str(), "a");
+}
+
+SweepJournal::~SweepJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string SweepJournal::record_line(const PointResult& r) {
+  const std::string payload = point_json(r);
+  char head[24];
+  std::snprintf(head, sizeof(head), "J1 %016" PRIx64 " ", fnv1a64(payload));
+  return head + payload + "\n";
+}
+
+void SweepJournal::append(const PointResult& r) {
+  if (!enabled()) return;
+  const std::string line = record_line(r);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (trigger_fault(FaultSite::JournalAppend,
+                    {r.point.label, r.point.index, r.attempts})) {
+    // Injected torn append: half the record, no newline, flushed — the
+    // exact artifact a crash mid-write leaves, which load() must skip.
+    std::fwrite(line.data(), 1, line.size() / 2, file_);
+    std::fflush(file_);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+void SweepJournal::compact(const std::vector<PointResult>& results) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      file_ = std::fopen(path_.c_str(), "a");
+      return;
+    }
+    for (const PointResult& r : results) out << record_line(r);
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      file_ = std::fopen(path_.c_str(), "a");
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) std::remove(tmp.c_str());
+  file_ = std::fopen(path_.c_str(), "a");
+}
+
+std::vector<PointResult> SweepJournal::load(const std::string& dir,
+                                            const std::string& experiment,
+                                            std::size_t* skipped) {
+  std::vector<PointResult> out;
+  std::size_t bad = 0;
+  if (!dir.empty()) {
+    std::ifstream in(journal_path(dir, experiment));
+    std::string line;
+    // Records are keyed by canonical identity; keep the LAST intact record
+    // per canonical (re-appends from an interrupted resume supersede).
+    std::vector<std::string> canon;
+    while (in && std::getline(in, line)) {
+      // getline strips '\n'; a torn tail shows up as a line that fails the
+      // magic/checksum below, never as silent truncation.
+      bool intact = false;
+      if (line.size() > 20 && line.compare(0, 3, kMagic) == 0 && line[19] == ' ') {
+        const std::string_view payload = std::string_view(line).substr(20);
+        char* end = nullptr;
+        const std::uint64_t want = std::strtoull(line.c_str() + 3, &end, 16);
+        if (end == line.c_str() + 19 && fnv1a64(payload) == want) {
+          // point_from_json also rejects stale engine versions — a journal
+          // from an older engine replays nothing rather than wrong bytes.
+          if (std::optional<PointResult> r = point_from_json(payload)) {
+            intact = true;
+            const std::string c = r->point.canonical();
+            bool replaced = false;
+            for (std::size_t i = 0; i < canon.size(); ++i) {
+              if (canon[i] == c) {
+                out[i] = std::move(*r);
+                replaced = true;
+                break;
+              }
+            }
+            if (!replaced) {
+              canon.push_back(c);
+              out.push_back(std::move(*r));
+            }
+          }
+        }
+      }
+      if (!intact) ++bad;
+    }
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return out;
+}
+
+}  // namespace hm::driver

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "driver/faults.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #endif
@@ -52,6 +54,27 @@ std::map<std::string, std::string> parse_knobs(std::string_view s) {
 
 }  // namespace
 
+std::string_view to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::None: return "none";
+    case ErrorClass::Config: return "config";
+    case ErrorClass::Transient: return "transient";
+    case ErrorClass::Timeout: return "timeout";
+    case ErrorClass::CorruptCache: return "corrupt_cache";
+    case ErrorClass::Engine: return "engine";
+  }
+  return "none";
+}
+
+ErrorClass error_class_from_name(std::string_view name) {
+  if (name == "config") return ErrorClass::Config;
+  if (name == "transient") return ErrorClass::Transient;
+  if (name == "timeout") return ErrorClass::Timeout;
+  if (name == "corrupt_cache") return ErrorClass::CorruptCache;
+  if (name == "engine") return ErrorClass::Engine;
+  return ErrorClass::None;
+}
+
 void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') {
@@ -80,6 +103,8 @@ std::string point_json(const PointResult& r) {
   json_kv_u64(out, "seed", r.point.seed);
   json_kv_bool(out, "ok", r.ok);
   kv_str(out, "error", r.error);
+  kv_str(out, "error_class", to_string(r.error_class));
+  json_kv_u64(out, "attempts", r.attempts);
   json_kv_u64(out, "mapped_refs", r.mapped_refs);
   json_kv_u64(out, "demoted_refs", r.demoted_refs);
   append_report_fields(out, r.report);
@@ -186,6 +211,8 @@ std::optional<PointResult> point_from_json(std::string_view text) {
   r.point.seed = std::strtoull(f["seed"].c_str(), nullptr, 10);
   r.ok = f.count("ok") && f["ok"] == "true";
   r.error = f.count("error") ? f["error"] : "";
+  r.error_class = error_class_from_name(f.count("error_class") ? f["error_class"] : "");
+  r.attempts = static_cast<unsigned>(std::strtoul(f["attempts"].c_str(), nullptr, 10));
   r.mapped_refs = static_cast<unsigned>(std::strtoul(f["mapped_refs"].c_str(), nullptr, 10));
   r.demoted_refs = static_cast<unsigned>(std::strtoul(f["demoted_refs"].c_str(), nullptr, 10));
   r.report = report_from_fields(f);
@@ -195,6 +222,7 @@ std::optional<PointResult> point_from_json(std::string_view text) {
 std::string csv_header() {
   std::string h =
       "experiment,index,label,machine,workload,knobs,scale,seed,ok,error,"
+      "error_class,attempts,"
       "mapped_refs,demoted_refs,cycles,work_cycles,control_cycles,synch_cycles,"
       "uops,amat,l1_hit_pct,l1_accesses,l2_accesses,l3_accesses,lm_accesses,"
       "directory_accesses,energy_cpu_pj,energy_caches_pj,energy_lm_pj,"
@@ -231,6 +259,8 @@ std::string csv_row(const PointResult& r) {
                 static_cast<unsigned long long>(r.point.seed), r.ok ? 1 : 0);
   out += buf;
   out += quote(r.error) + ',';
+  out += std::string(to_string(r.error_class)) + ',';
+  out += std::to_string(r.attempts) + ',';
   const RunReport& rep = r.report;
   std::snprintf(buf, sizeof(buf), "%u,%u,%llu,%llu,%llu,%llu,%llu,", r.mapped_refs,
                 r.demoted_refs, static_cast<unsigned long long>(rep.core.cycles),
@@ -289,17 +319,50 @@ std::string MemoCache::path_for(const SweepPoint& p) const {
   return dir_ + "/" + buf + ".json";
 }
 
+void MemoCache::note_corrupt(const std::string& path) const {
+  corrupt_.fetch_add(1, std::memory_order_relaxed);
+  // Log the first offending path once per cache instance: enough to find
+  // the artifact, without a 242-point sweep spraying 242 warnings.
+  if (!logged_corrupt_.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "hm_sweep: warning: corrupt memo-cache entry %s "
+                 "(degraded to a miss; count reported in the sweep summary)\n",
+                 path.c_str());
+}
+
 std::optional<PointResult> MemoCache::lookup(const SweepPoint& p) const {
   if (!enabled()) return std::nullopt;
-  std::ifstream in(path_for(p));
-  if (!in) return std::nullopt;
+  const std::string path = path_for(p);
+  std::ifstream in(path);
+  if (!in) return std::nullopt;  // plain miss: nothing stored
   std::stringstream ss;
   ss << in.rdbuf();
-  std::optional<PointResult> r = point_from_json(ss.str());
-  if (!r || !r->ok) return std::nullopt;
+  const std::string text = ss.str();
+  FieldMap f;
+  if (!parse_flat_json(text, f)) {
+    note_corrupt(path);  // unparseable file: corruption, not a cold cache
+    return std::nullopt;
+  }
+  const auto it = f.find("engine_version");
+  if (it == f.end()) {
+    note_corrupt(path);
+    return std::nullopt;
+  }
+  // A stale engine version is the EXPECTED state after an engine bump —
+  // a silent miss, never counted as corruption.
+  if (std::strtoull(it->second.c_str(), nullptr, 10) != kEngineVersion)
+    return std::nullopt;
+  std::optional<PointResult> r = point_from_json(text);
+  if (!r || !r->ok) {
+    note_corrupt(path);  // parsed but failed/implausible: store() never writes these
+    return std::nullopt;
+  }
   // Guard against hash collisions and hand-edited files: the stored point
   // must describe the same simulation.
-  if (r->point.canonical() != p.canonical()) return std::nullopt;
+  if (r->point.canonical() != p.canonical()) {
+    note_corrupt(path);
+    return std::nullopt;
+  }
   // The report is the cached payload; the identity is the caller's (the
   // same simulation can belong to several experiments).
   r->point = p;
@@ -327,6 +390,16 @@ void MemoCache::store(const PointResult& r) const {
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+
+  // Fault site cache_store: a `corrupt` rule garbles the just-installed
+  // file (what a bad disk or a half-written artifact looks like); throw
+  // kinds propagate to the caller's taxonomy.  Placed after the rename so
+  // the corrupt artifact is the durable one lookup() will meet.
+  if (trigger_fault(FaultSite::CacheStore,
+                    {r.point.label, r.point.index, r.attempts})) {
+    std::ofstream garble(path, std::ios::trunc);
+    garble << "{corrupt";
+  }
 }
 
 std::optional<PointResult> RunCache::lookup(const SweepPoint& p) const {

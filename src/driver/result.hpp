@@ -4,9 +4,11 @@
 // simulate changed points.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,11 +20,43 @@
 
 namespace hm::driver {
 
+/// Structured failure taxonomy for sweep points.  The class decides the
+/// driver's reaction: `Transient` retries with capped exponential backoff,
+/// everything else quarantines the point (recorded, reported, sweep
+/// continues).  `Timeout` is what the watchdog / cycle budget produce — a
+/// hung point becomes a first-class result instead of a wedged worker.
+enum class ErrorClass : std::uint8_t {
+  None,          ///< ok == true
+  Config,        ///< bad point spec (unknown name, knob out of range)
+  Transient,     ///< retryable environmental failure (retries exhausted)
+  Timeout,       ///< wall deadline or simulated-cycle budget exceeded
+  CorruptCache,  ///< persistent-state corruption detected
+  Engine,        ///< simulation-internal failure (bug, invariant breach)
+};
+
+std::string_view to_string(ErrorClass c);
+ErrorClass error_class_from_name(std::string_view name);
+
+/// Retryable failure: the driver re-runs the point (bounded, backed off)
+/// before quarantining.  Thrown by the fault harness and by any future
+/// environmental dependency (I/O, RPC) the engine grows.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Persistent-state corruption (memo cache, journal).  Never retried — the
+/// corrupt artifact must be inspected, not raced against.
+struct CorruptCacheError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct PointResult {
   SweepPoint point;
   bool ok = false;
   bool from_cache = false;  ///< runtime-only; never serialized
   std::string error;        ///< non-empty when !ok
+  ErrorClass error_class = ErrorClass::None;  ///< taxonomy for !ok results
+  unsigned attempts = 0;    ///< simulation attempts consumed (retries count)
   // Compiled-kernel classification (the directory-size ablation's columns).
   unsigned mapped_refs = 0;
   unsigned demoted_refs = 0;
@@ -60,6 +94,13 @@ double mean_of(const std::vector<double>& xs);
 /// collision or stale/corrupt file degrades to a miss, never a wrong
 /// report.  store() writes via rename for atomicity against concurrent
 /// sweeps sharing a cache directory.
+///
+/// Corruption is degraded-but-counted: a file that exists yet fails to
+/// parse, stores a mismatched canonical, or carries a failed result is a
+/// miss AND increments corrupt_entries() (surfaced in the sweep summary),
+/// with the first offending path logged once per cache instance.  A stale
+/// engine version is NOT corruption — it is the expected state after an
+/// engine bump and stays a silent miss.
 class MemoCache {
  public:
   explicit MemoCache(std::string dir);  // "" => disabled
@@ -67,13 +108,23 @@ class MemoCache {
   const std::string& dir() const { return dir_; }
 
   std::optional<PointResult> lookup(const SweepPoint& p) const;
-  void store(const PointResult& r) const;  // best-effort; never throws
+  /// Best-effort; never throws on real I/O failure (a fault-plan rule at
+  /// site cache_store may throw or garble by design).
+  void store(const PointResult& r) const;
+
+  /// Corrupt/mismatched files encountered by lookup() on this instance.
+  std::uint64_t corrupt_entries() const {
+    return corrupt_.load(std::memory_order_relaxed);
+  }
 
   static std::uint64_t key(const SweepPoint& p);
 
  private:
   std::string path_for(const SweepPoint& p) const;
+  void note_corrupt(const std::string& path) const;
   std::string dir_;
+  mutable std::atomic<std::uint64_t> corrupt_{0};
+  mutable std::atomic<bool> logged_corrupt_{false};
 };
 
 /// In-memory cross-experiment result cache for one CLI session: Figs. 8, 9,

@@ -48,12 +48,22 @@ std::vector<std::string> SweepScheduler::run(std::size_t n, const Body& body,
     }
   };
 
+  // Progress is observability, not control flow: a throwing callback must
+  // not kill a worker thread (std::terminate) or poison a job's error slot,
+  // so it gets its own catch-all, separate from the body's.
+  const auto guarded_progress = [&](std::size_t done_count) {
+    try {
+      progress(done_count, n);
+    } catch (...) {
+    }
+  };
+
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       guarded(i);
-      if (progress) progress(i + 1, n);
+      if (progress) guarded_progress(i + 1);
     }
     return errors;
   }
@@ -107,7 +117,7 @@ std::vector<std::string> SweepScheduler::run(std::size_t n, const Body& body,
       if (progress) {
         // Count inside the lock so reported counts are monotonic.
         const std::lock_guard<std::mutex> lock(progress_mu);
-        progress(++done, n);
+        guarded_progress(++done);
       }
     }
   };

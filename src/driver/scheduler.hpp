@@ -35,7 +35,9 @@ class SweepScheduler {
 
   /// Run body(i) exactly once for every i in [0, n).  Returns n error
   /// strings ("" = success); exceptions escaping a body land in its slot.
-  /// @p progress (optional) is invoked after each completion, serialized.
+  /// @p progress (optional) is invoked after each completion, serialized
+  /// under one mutex with a monotonic done count; exceptions it throws are
+  /// swallowed (observability must never fail a sweep).
   std::vector<std::string> run(std::size_t n, const Body& body,
                                const Progress& progress = {});
 

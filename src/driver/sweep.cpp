@@ -1,14 +1,20 @@
 #include "driver/sweep.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
 #include "compiler/codegen.hpp"
+#include "driver/faults.hpp"
+#include "driver/journal.hpp"
 #include "driver/registry.hpp"
 #include "driver/scheduler.hpp"
+#include "driver/watchdog.hpp"
 #include "workloads/microbench.hpp"
 
 namespace hm::driver {
@@ -49,7 +55,7 @@ std::uint64_t tile_seed(std::uint64_t seed, unsigned tile) {
 
 }  // namespace
 
-PointResult run_point(const SweepPoint& p) {
+PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
   PointResult out;
   out.point = p;
   if (p.knob("fail") == "1")
@@ -77,7 +83,7 @@ PointResult run_point(const SweepPoint& p) {
     mc.iterations = static_cast<std::uint64_t>(std::llround(200'000.0 * p.scale));
     System sys(std::move(cfg));
     Microbenchmark mb(mc);
-    out.report = sys.run(mb);
+    out.report = sys.run(mb, cancel);
   } else if (!p.workload.empty()) {
     const Workload w = make_workload(p.workload, {.factor = p.scale});
     CodegenOptions co;
@@ -97,7 +103,7 @@ PointResult run_point(const SweepPoint& p) {
       // strided ref on the cache path, so the column reports their sum.
       out.demoted_refs =
           kernel.classification().demoted_regular + kernel.classification().demoted_stride;
-      out.report = sys.run(kernel);
+      out.report = sys.run(kernel, cancel);
     } else {
       // SPMD: each tile compiles its own slice of the kernel (same loop
       // shape, balanced iteration slice, tile-private array region) against
@@ -122,7 +128,7 @@ PointResult run_point(const SweepPoint& p) {
       out.mapped_refs = kernels.front()->classification().num_regular;
       out.demoted_refs = kernels.front()->classification().demoted_regular +
                          kernels.front()->classification().demoted_stride;
-      out.report = sys.run(streams);
+      out.report = sys.run(streams, cancel);
     }
   }
   // An empty workload (config-only point) is legal and returns a zero report.
@@ -143,6 +149,94 @@ PointResult run_point(const SweepPoint& p) {
   return out;
 }
 
+namespace {
+
+/// Format the wall deadline into deterministic text ("%g" of the CONFIGURED
+/// budget, never the measured elapsed time, so identical configurations
+/// produce identical error bytes on every host).
+std::string wall_deadline_text(double seconds, const std::string& label) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", seconds);
+  return std::string("timeout: wall deadline exceeded (") + buf + " s) at " + label;
+}
+
+/// One point, fortified: fault-injection hook, watchdog / cycle-budget
+/// cancellation, bounded retry with capped exponential backoff, and the
+/// error taxonomy.  Never throws — every failure mode lands in the returned
+/// PointResult so the scheduler slot stays clean and the sweep continues.
+PointResult run_point_fortified(const SweepPoint& p, const SweepOptions& opt,
+                                Watchdog* dog,
+                                std::atomic<std::size_t>& retries) {
+  const unsigned max_attempts = opt.max_retries + 1;
+  double backoff_ms = opt.retry_backoff_ms;
+  for (unsigned attempt = 1;; ++attempt) {
+    CancelToken token;
+    if (opt.max_point_cycles != 0) token.set_cycle_limit(opt.max_point_cycles);
+    Watchdog::Guard guard;
+    if (dog != nullptr) guard = dog->arm(token, opt.point_deadline_seconds);
+    PointResult r;
+    r.point = p;
+    r.attempts = attempt;
+    try {
+      trigger_fault(FaultSite::SweepWorker, {p.label, p.index, attempt}, &token);
+      r = run_point(p, &token);
+      r.attempts = attempt;
+      // run_point's only non-throwing failure (occupancy-horizon overflow)
+      // is an engine-invariant breach: deterministic, never retried.
+      if (!r.ok) r.error_class = ErrorClass::Engine;
+      return r;
+    } catch (const CancelledError& e) {
+      r.ok = false;
+      r.error_class = ErrorClass::Timeout;
+      if (e.reason() == CancelledError::Reason::CycleLimit) {
+        // Deterministic: a pure function of the configured budget, so a
+        // budget timeout serializes identically at any --jobs value.
+        r.error = "timeout: cycle budget exceeded (" +
+                  std::to_string(opt.max_point_cycles) + " simulated cycles) at " +
+                  p.label;
+      } else {
+        r.error = wall_deadline_text(opt.point_deadline_seconds, p.label);
+      }
+      return r;
+    } catch (const TransientError& e) {
+      if (attempt < max_attempts) {
+        retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, 1000.0);
+        continue;
+      }
+      r.ok = false;
+      r.error_class = ErrorClass::Transient;
+      r.error = std::string("transient failure (") + std::to_string(max_attempts) +
+                " attempts exhausted): " + e.what();
+      return r;
+    } catch (const CorruptCacheError& e) {
+      r.ok = false;
+      r.error_class = ErrorClass::CorruptCache;
+      r.error = e.what();
+      return r;
+    } catch (const std::invalid_argument& e) {
+      r.ok = false;
+      r.error_class = ErrorClass::Config;
+      r.error = e.what();
+      return r;
+    } catch (const std::out_of_range& e) {
+      r.ok = false;
+      r.error_class = ErrorClass::Config;
+      r.error = e.what();
+      return r;
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error_class = ErrorClass::Engine;
+      r.error = e.what();
+      return r;
+    }
+  }
+}
+
+}  // namespace
+
 SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<SweepPoint> points = expand(spec, opt.scale_override);
@@ -151,10 +245,35 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   out.spec = &spec;
   out.points.resize(points.size());
 
+  SweepJournal journal(opt.journal_dir, spec.name);
   const MemoCache disk(opt.cache_dir);
+  std::vector<char> resolved(points.size(), 0);
+
+  // Resume pass: replay intact journal records (ok AND quarantined — a
+  // finished point is a finished point) before consulting any cache, so an
+  // interrupted sweep re-runs only what had not completed.  Matching is by
+  // canonical identity; the replayed record adopts the current expansion's
+  // experiment/index/label exactly like a cache hit does.
+  if (opt.resume && !opt.journal_dir.empty()) {
+    std::unordered_map<std::string, PointResult> prior;
+    for (PointResult& rec : SweepJournal::load(opt.journal_dir, spec.name))
+      prior[rec.point.canonical()] = std::move(rec);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = prior.find(points[i].canonical());
+      if (it == prior.end()) continue;
+      out.points[i] = it->second;
+      out.points[i].point = points[i];
+      resolved[i] = 1;
+      ++out.resumed;
+      if (out.points[i].ok && opt.session_cache)
+        opt.session_cache->store(out.points[i]);
+    }
+  }
+
   std::vector<std::size_t> todo;
   todo.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (resolved[i]) continue;
     std::optional<PointResult> hit;
     if (opt.session_cache) hit = opt.session_cache->lookup(points[i]);
     if (!hit && disk.enabled()) {
@@ -171,25 +290,51 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
     }
   }
 
+  std::optional<Watchdog> dog;
+  if (opt.point_deadline_seconds > 0.0) dog.emplace();
+
+  std::atomic<std::size_t> retries{0};
   SweepScheduler scheduler(opt.jobs);
   const std::vector<std::string> errors = scheduler.run(
       todo.size(),
-      [&](std::size_t t) { out.points[todo[t]] = run_point(points[todo[t]]); },
+      [&](std::size_t t) {
+        out.points[todo[t]] = run_point_fortified(
+            points[todo[t]], opt, dog ? &*dog : nullptr, retries);
+        // Journal as each point lands (ok or quarantined): after a crash at
+        // any instant, everything already finished is recoverable.
+        journal.append(out.points[todo[t]]);
+      },
       opt.progress);
 
   for (std::size_t t = 0; t < todo.size(); ++t) {
     const std::size_t i = todo[t];
     if (!errors[t].empty()) {
+      // Backstop: run_point_fortified never throws, so this is scheduler-
+      // level breakage (e.g. a throwing progress callback's debris).
       out.points[i] = PointResult{};
       out.points[i].point = points[i];
       out.points[i].error = errors[t];
+      out.points[i].error_class = ErrorClass::Engine;
+      out.points[i].attempts = 1;
       continue;
     }
-    if (disk.enabled()) disk.store(out.points[i]);
-    if (opt.session_cache) opt.session_cache->store(out.points[i]);
+    if (out.points[i].ok) {
+      if (disk.enabled()) disk.store(out.points[i]);
+      if (opt.session_cache) opt.session_cache->store(out.points[i]);
+    }
   }
-  for (const PointResult& r : out.points)
-    if (!r.ok) ++out.failures;
+  for (const PointResult& r : out.points) {
+    if (r.ok) continue;
+    ++out.failures;
+    if (r.error_class == ErrorClass::Timeout) ++out.timeouts;
+  }
+  out.retries = retries.load(std::memory_order_relaxed);
+  out.cache_corrupt = disk.corrupt_entries();
+
+  // Clean completion: compact the journal to exactly the final result set,
+  // so repeated journaled runs stay O(points) and a later --resume replays
+  // everything instantly.
+  journal.compact(out.points);
 
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -258,6 +403,9 @@ std::string render(const SweepOutcome& out) {
 }
 
 std::string to_json(const SweepOutcome& out) {
+  // Fault site report_serialize: throw kinds propagate to the CLI's fatal
+  // path (exit 1) — results stay safe in the journal for --resume.
+  trigger_fault(FaultSite::ReportSerialize, {out.spec->name, 0, 1});
   std::string text = "{\n\"experiment\":\"" + out.spec->name + "\",\n\"engine_version\":" +
                      std::to_string(kEngineVersion) + ",\n\"points\":[\n";
   for (std::size_t i = 0; i < out.points.size(); ++i) {
@@ -270,6 +418,7 @@ std::string to_json(const SweepOutcome& out) {
 }
 
 std::string to_csv(const SweepOutcome& out) {
+  trigger_fault(FaultSite::ReportSerialize, {out.spec->name, 0, 1});
   std::string text = csv_header();
   for (const PointResult& r : out.points) text += csv_row(r);
   return text;

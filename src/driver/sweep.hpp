@@ -19,7 +19,10 @@ namespace hm::driver {
 
 /// Simulate one expanded point.  Throws for unknown machine/workload names
 /// and for the `fail=1` test knob; exceptions are isolated per job by the
-/// scheduler.  Knobs understood (absent => default_knobs() value):
+/// scheduler.  @p cancel (optional) is polled cooperatively by the engine:
+/// a watchdog deadline or cycle budget aborts with CancelledError, which
+/// run_sweep records as a `timeout` result.
+/// Knobs understood (absent => default_knobs() value):
 ///   cores         tile count (NAS kernels only): the workload is
 ///                 SPMD-partitioned across the tiles of a System(cfg, N)
 ///                 and run with an end-of-stream barrier; cores=1 replays
@@ -32,7 +35,7 @@ namespace hm::driver {
 /// Unknown knobs are inert axis markers.  NAS kernels compile against the
 /// hybrid machine's LM geometry on every machine kind, exactly like the
 /// original bench binaries, so address streams match across variants.
-PointResult run_point(const SweepPoint& p);
+PointResult run_point(const SweepPoint& p, const CancelToken* cancel = nullptr);
 
 struct SweepOptions {
   unsigned jobs = 0;                     ///< worker threads; 0 = all cores
@@ -40,13 +43,39 @@ struct SweepOptions {
   RunCache* session_cache = nullptr;     ///< cross-experiment in-memory cache
   std::optional<double> scale_override;  ///< quick-look rescale (not the paper tables)
   std::function<void(std::size_t done, std::size_t total)> progress;
+
+  // Fault tolerance.  Retries apply to ErrorClass::Transient only; the
+  // backoff doubles per attempt from `retry_backoff_ms` and is capped at
+  // 1 s (backoff perturbs wall clock, never results — points are pure).
+  unsigned max_retries = 2;        ///< extra attempts for transient failures
+  double retry_backoff_ms = 50.0;  ///< first backoff; doubles, capped at 1000
+  /// Per-point wall deadline in seconds (0 = unguarded).  Enforced by a
+  /// watchdog thread + cooperative cancellation; an expired point is
+  /// recorded as ErrorClass::Timeout.  Wall timeouts are host-dependent —
+  /// for deterministic budgets use max_point_cycles.
+  double point_deadline_seconds = 0.0;
+  /// Per-point budget in simulated cycles (0 = unlimited): a deterministic
+  /// timeout, identical on every host and thread count.
+  std::uint64_t max_point_cycles = 0;
+
+  // Crash safety.  A non-empty journal_dir appends every finished point to
+  // dir/<experiment>.jsonl as it lands (checksummed, torn-tail tolerant);
+  // resume=true replays intact journal records before consulting caches,
+  // so a SIGKILLed sweep re-runs only what had not finished.  Replay is
+  // byte-exact: the resumed sweep's JSON/CSV equal an uninterrupted run's.
+  std::string journal_dir;  ///< "" = journaling off
+  bool resume = false;      ///< replay journal records for this spec first
 };
 
 struct SweepOutcome {
   const ExperimentSpec* spec = nullptr;
   std::vector<PointResult> points;  ///< slot i == SweepPoint::index i
   std::size_t cache_hits = 0;
-  std::size_t failures = 0;
+  std::size_t failures = 0;       ///< quarantined points (any error class)
+  std::size_t timeouts = 0;       ///< subset of failures: ErrorClass::Timeout
+  std::size_t retries = 0;        ///< extra attempts consumed by transients
+  std::size_t resumed = 0;        ///< points replayed from the journal
+  std::size_t cache_corrupt = 0;  ///< corrupt memo-cache files (degraded to misses)
   double wall_seconds = 0.0;  ///< diagnostics only; never serialized
 };
 

@@ -1,0 +1,80 @@
+#include "driver/watchdog.hpp"
+
+#include <utility>
+
+namespace hm::driver {
+
+Watchdog::Watchdog(std::chrono::milliseconds poll) : poll_(poll) {
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, poll_);
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (Entry& e : entries_) {
+      if (e.token != nullptr && !e.fired && now >= e.deadline) {
+        e.token->cancel();
+        e.fired = true;  // token stays registered until its Guard disarms
+      }
+    }
+  }
+}
+
+Watchdog::Guard Watchdog::arm(CancelToken& token, double budget_seconds) {
+  if (!(budget_seconds > 0.0)) return Guard{};
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(budget_seconds));
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t slot = entries_.size();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].token == nullptr) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == entries_.size()) entries_.emplace_back();
+  entries_[slot] = Entry{&token, deadline, false};
+  return Guard{this, slot};
+}
+
+Watchdog::Guard& Watchdog::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    disarm();
+    owner_ = std::exchange(other.owner_, nullptr);
+    slot_ = std::exchange(other.slot_, 0);
+    fired_ = other.fired_;
+  }
+  return *this;
+}
+
+bool Watchdog::Guard::fired() const {
+  if (owner_ == nullptr) return fired_;
+  const std::lock_guard<std::mutex> lock(owner_->mu_);
+  return owner_->entries_[slot_].fired;
+}
+
+void Watchdog::Guard::disarm() {
+  if (owner_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(owner_->mu_);
+    fired_ = owner_->entries_[slot_].fired;
+    owner_->entries_[slot_].token = nullptr;
+  }
+  owner_ = nullptr;
+}
+
+}  // namespace hm::driver

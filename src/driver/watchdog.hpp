@@ -1,0 +1,75 @@
+// Per-point watchdog: one monitor thread per sweep that cancels the
+// CancelToken of any armed point whose wall deadline has passed.  The
+// engine observes the cancellation cooperatively (common/cancel.hpp) and
+// aborts with CancelledError, so a wedged simulation point becomes a
+// `timeout` result instead of permanently occupying a scheduler worker.
+//
+// Arm/disarm are slot-based and O(registered points); the monitor polls at
+// a fixed cadence (default 20 ms), which bounds how far past its deadline
+// a point can run — milliseconds against deadlines measured in seconds.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+
+namespace hm::driver {
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::milliseconds poll = std::chrono::milliseconds(20));
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// RAII registration of one guarded run: disarms on destruction and
+  /// reports whether the watchdog fired.  Default-constructed (or armed
+  /// with a non-positive budget) it is inert.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { disarm(); }
+
+    /// True once the watchdog cancelled this run's token (stable after
+    /// disarm; the caller uses it to classify a CancelledError as a wall
+    /// timeout rather than an external cancellation).
+    bool fired() const;
+
+   private:
+    friend class Watchdog;
+    Guard(Watchdog* owner, std::size_t slot) : owner_(owner), slot_(slot) {}
+    void disarm();
+    Watchdog* owner_ = nullptr;
+    std::size_t slot_ = 0;
+    bool fired_ = false;  ///< latched at disarm so fired() stays readable
+  };
+
+  /// Guard @p token with a wall budget of @p budget_seconds (<= 0 => inert
+  /// guard, nothing registered).  Thread-safe; called from sweep workers.
+  Guard arm(CancelToken& token, double budget_seconds);
+
+ private:
+  struct Entry {
+    CancelToken* token = nullptr;  ///< null => slot free
+    std::chrono::steady_clock::time_point deadline;
+    bool fired = false;
+  };
+
+  void monitor_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  bool stop_ = false;
+  std::chrono::milliseconds poll_;
+  std::thread monitor_;
+};
+
+}  // namespace hm::driver

@@ -19,11 +19,12 @@ void System::reset_timing_state() {
   for (auto& t : tiles_) t->reset();
 }
 
-RunReport System::run(InstrStream& program) {
-  return run(std::vector<InstrStream*>{&program});
+RunReport System::run(InstrStream& program, const CancelToken* cancel) {
+  return run(std::vector<InstrStream*>{&program}, cancel);
 }
 
-RunReport System::run(const std::vector<InstrStream*>& programs) {
+RunReport System::run(const std::vector<InstrStream*>& programs,
+                      const CancelToken* cancel) {
   if (programs.empty())
     throw std::invalid_argument("System::run needs at least one program");
   if (programs.size() > tiles_.size())
@@ -49,8 +50,15 @@ RunReport System::run(const std::vector<InstrStream*>& programs) {
   const std::size_t n = programs.size();
   std::vector<RunResult> results(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // Coarse cancellation boundary: a watchdog that fires while tile i is
+    // mid-stream is also observed here before tile i+1 starts, so a
+    // multi-tile run never outlives its deadline by more than one poll
+    // stride.  The per-uop poll inside OooCore::run covers the rest.
+    if (cancel != nullptr && cancel->cancelled())
+      throw CancelledError(CancelledError::Reason::External,
+                           "run cancelled (watchdog or external)");
     programs[i]->reset();
-    results[i] = tiles_[i]->core().run(*programs[i]);
+    results[i] = tiles_[i]->core().run(*programs[i], cancel);
   }
 
   RunReport report;

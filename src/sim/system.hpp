@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/byte_store.hpp"
+#include "common/cancel.hpp"
 #include "core/isa.hpp"
 #include "energy/energy.hpp"
 #include "memory/uncore.hpp"
@@ -91,14 +92,19 @@ class System {
   /// MSHRs, predictors and DMA state reset on every tile and in the uncore;
   /// all statistics cleared).  The functional memory image is preserved
   /// across runs — clear_image() starts a fresh one.
-  RunReport run(InstrStream& program);
+  RunReport run(InstrStream& program, const CancelToken* cancel = nullptr);
 
   /// SPMD run: one program per tile (programs.size() <= num_tiles()), all
   /// started cold at local cycle 0 with a barrier at the end of the stream
   /// — the aggregate cycle count is the slowest tile.  Tiles execute in
   /// tile order against the shared uncore, which is what makes the
   /// contention (port slots, DMA bus windows) deterministic.
-  RunReport run(const std::vector<InstrStream*>& programs);
+  /// @p cancel (optional) is checked at coarse boundaries — between tiles
+  /// here, and every kCancelCheckStride uops inside each tile's core — so
+  /// a watchdog deadline or cycle budget aborts the run with
+  /// CancelledError instead of wedging the calling sweep worker.
+  RunReport run(const std::vector<InstrStream*>& programs,
+                const CancelToken* cancel = nullptr);
 
   ByteStore& image() { return image_; }
   void clear_image() { image_.clear(); }

@@ -137,6 +137,77 @@ TEST(Scheduler, IsolatesThrowingJobs) {
   EXPECT_EQ(completed.load() + failed, static_cast<int>(n));
 }
 
+TEST(Scheduler, ManyThrowingJobsUnderContentionKeepExactErrorSlots) {
+  // Heavy failure contention: most jobs throw, from every worker at once,
+  // with jitter so completions interleave.  Every error must land in its
+  // own slot with its exact message — no loss, no cross-slot smearing.
+  const std::size_t n = 400;
+  std::atomic<int> completed{0};
+  SweepScheduler sched(8);
+  const std::vector<std::string> errors = sched.run(n, [&](std::size_t i) {
+    if (i % 7 == 0) std::this_thread::sleep_for(std::chrono::microseconds(i % 50));
+    if (i % 2 == 0) throw std::runtime_error("err " + std::to_string(i));
+    completed.fetch_add(1);
+  });
+  ASSERT_EQ(errors.size(), n);
+  int failed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(errors[i], "err " + std::to_string(i)) << i;
+      ++failed;
+    } else {
+      EXPECT_TRUE(errors[i].empty()) << i << ": " << errors[i];
+    }
+  }
+  EXPECT_EQ(completed.load() + failed, static_cast<int>(n));
+}
+
+TEST(Scheduler, ErrorSlotsAreIdenticalAcrossJobCounts) {
+  const std::size_t n = 97;
+  const auto body = [](std::size_t i) {
+    if (i % 5 == 0 || i == 13) throw std::invalid_argument("slot " + std::to_string(i));
+  };
+  const std::vector<std::string> reference = SweepScheduler(1).run(n, body);
+  for (const unsigned jobs : {2u, 4u, 8u})
+    EXPECT_EQ(SweepScheduler(jobs).run(n, body), reference) << jobs;
+}
+
+TEST(Scheduler, ProgressIsSerializedMonotonicAndComplete) {
+  const std::size_t n = 200;
+  std::atomic<int> in_callback{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::size_t> seen;  // written only inside the callback
+  SweepScheduler sched(8);
+  sched.run(
+      n, [](std::size_t) {},
+      [&](std::size_t done, std::size_t total) {
+        if (in_callback.fetch_add(1) != 0) overlapped.store(true);
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        seen.push_back(done);
+        EXPECT_EQ(total, n);
+        in_callback.fetch_sub(1);
+      });
+  EXPECT_FALSE(overlapped.load());  // serialized: never two callbacks at once
+  ASSERT_EQ(seen.size(), n);        // exactly one call per completion
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], i + 1);  // monotonic
+}
+
+TEST(Scheduler, ThrowingProgressNeverKillsWorkersOrPoisonsSlots) {
+  const std::size_t n = 64;
+  std::atomic<int> calls{0};
+  for (const unsigned jobs : {1u, 4u}) {
+    const std::vector<std::string> errors = SweepScheduler(jobs).run(
+        n, [](std::size_t) {},
+        [&](std::size_t, std::size_t) {
+          calls.fetch_add(1);
+          throw std::runtime_error("observer bug");
+        });
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(errors[i].empty()) << "jobs=" << jobs << " slot " << i;
+  }
+  EXPECT_EQ(calls.load(), static_cast<int>(2 * n));  // still called every time
+}
+
 TEST(Scheduler, StealsFromLoadedWorkers) {
   // One slow job pinned at index 0 (worker 0's queue front); the rest are
   // instant.  With 4 workers the others must steal worker 0's remaining

@@ -18,11 +18,26 @@
 //                         'full' spells out the default — each spec's own
 //                         full scale, the one the paper tables use
 //     --quiet             no progress on stderr
+//   Fault tolerance (see README "Robustness"):
+//     --journal-dir DIR   crash-safe journal of finished points
+//                         (default .hm_sweep_journal)
+//     --no-journal        disable the journal
+//     --resume            replay journaled points before running the rest;
+//                         the resumed outputs are byte-identical to an
+//                         uninterrupted run's
+//     --retries N         extra attempts for transient failures (default 2)
+//     --deadline SECS     per-point wall deadline (watchdog; default off)
+//     --max-point-cycles N  deterministic per-point simulated-cycle budget
+//     --faults SPEC       deterministic fault injection (also: HM_FAULTS
+//                         env; the flag wins) — see driver/faults.hpp
 //
-// Exit status: 0 all points simulated, 1 any point failed, 2 usage error.
+// Exit status: 0 all points ok; 3 some points quarantined (outputs still
+// emitted, failed rows carry error/error_class); 1 fatal driver error;
+// 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -30,6 +45,7 @@
 #include <vector>
 
 #include "driver/experiment.hpp"
+#include "driver/faults.hpp"
 #include "driver/registry.hpp"
 #include "driver/result.hpp"
 #include "driver/scheduler.hpp"
@@ -52,13 +68,22 @@ struct CliOptions {
   std::string cache_dir = ".hm_sweep_cache";
   std::optional<double> scale;
   bool quiet = false;
+  std::string journal_dir = ".hm_sweep_journal";
+  bool resume = false;
+  unsigned retries = 2;
+  double deadline_seconds = 0.0;
+  std::uint64_t max_point_cycles = 0;
+  std::string faults;  // --faults beats HM_FAULTS
 };
 
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <list|run> [--filter SUBSTR] [--jobs N|auto]\n"
                "       [--format table|json|csv] [--out DIR] [--cache-dir DIR]\n"
-               "       [--no-cache] [--scale F|full] [--quiet]\n",
+               "       [--no-cache] [--scale F|full] [--quiet]\n"
+               "       [--journal-dir DIR] [--no-journal] [--resume]\n"
+               "       [--retries N] [--deadline SECS] [--max-point-cycles N]\n"
+               "       [--faults SPEC]\n",
                argv0);
   return code;
 }
@@ -86,6 +111,23 @@ bool parse_positive_double(const char* s, double& out) {
   char* end = nullptr;
   const double v = std::strtod(s, &end);
   if (end == s || *end != '\0' || !(v > 0.0)) return false;
+  out = v;
+  return true;
+}
+
+/// Like parse_positive_unsigned but 0 is legal (`--retries 0` = no retries).
+bool parse_unsigned(const char* s, unsigned& out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-' || v > 1u << 20) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+bool parse_positive_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-' || v == 0) return false;
   out = v;
   return true;
 }
@@ -154,6 +196,39 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       opt.scale = scale;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--journal-dir") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.journal_dir = v;
+    } else if (arg == "--no-journal") {
+      opt.journal_dir.clear();
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--retries") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_unsigned(v, opt.retries)) {
+        std::fprintf(stderr, "--retries expects a non-negative integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--deadline") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_double(v, opt.deadline_seconds)) {
+        std::fprintf(stderr, "--deadline expects a positive number of seconds, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--max-point-cycles") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_u64(v, opt.max_point_cycles)) {
+        std::fprintf(stderr, "--max-point-cycles expects a positive integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--faults") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.faults = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
       std::exit(0);
@@ -176,9 +251,24 @@ bool write_file(const std::filesystem::path& path, const std::string& content) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
   }
-  std::ofstream out(path, std::ios::trunc);
-  out << content;
-  return static_cast<bool>(out);
+  // Temp file + atomic rename: a crash mid-write leaves the previous
+  // artifact intact (or nothing), never a half-written JSON/CSV that a
+  // downstream script would parse as truth.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// The distinct values of an experiment's core-count axis, in declaration
@@ -257,6 +347,25 @@ std::string list_json(const std::vector<const ExperimentSpec*>& selected) {
 int main(int argc, char** argv) {
   CliOptions opt;
   if (!parse_args(argc, argv, opt)) return usage(argv[0], 2);
+  if (opt.resume && opt.journal_dir.empty()) {
+    std::fprintf(stderr, "--resume needs a journal (drop --no-journal)\n");
+    return usage(argv[0], 2);
+  }
+
+  // Deterministic fault injection: --faults wins over the HM_FAULTS
+  // environment variable; a malformed spec is a loud usage error, never a
+  // silently inert plan.
+  std::string fault_spec = opt.faults;
+  if (fault_spec.empty())
+    if (const char* env = std::getenv("HM_FAULTS")) fault_spec = env;
+  if (!fault_spec.empty()) {
+    try {
+      install_fault_plan(FaultPlan::parse(fault_spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad fault spec: %s\n", e.what());
+      return 2;
+    }
+  }
 
   std::vector<const ExperimentSpec*> selected;
   for (const ExperimentSpec* spec : all_experiments())
@@ -296,43 +405,64 @@ int main(int argc, char** argv) {
   RunCache session;
   std::size_t total_failures = 0;
 
-  for (const ExperimentSpec* spec : selected) {
-    SweepOptions sweep_opt;
-    sweep_opt.jobs = jobs;
-    sweep_opt.cache_dir = opt.cache_dir;
-    sweep_opt.session_cache = &session;
-    sweep_opt.scale_override = opt.scale;
-    if (tty)
-      sweep_opt.progress = [&](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "\r%s [%zu/%zu]", spec->name.c_str(), done, total);
-      };
+  // Any exception escaping the sweep loop — a throwing report_serialize
+  // fault, a filesystem surprise — is a FATAL driver error (exit 1),
+  // distinct from quarantined points (exit 3): finished points are already
+  // in the journal, so a later --resume loses nothing.
+  try {
+    for (const ExperimentSpec* spec : selected) {
+      SweepOptions sweep_opt;
+      sweep_opt.jobs = jobs;
+      sweep_opt.cache_dir = opt.cache_dir;
+      sweep_opt.session_cache = &session;
+      sweep_opt.scale_override = opt.scale;
+      sweep_opt.max_retries = opt.retries;
+      sweep_opt.point_deadline_seconds = opt.deadline_seconds;
+      sweep_opt.max_point_cycles = opt.max_point_cycles;
+      sweep_opt.journal_dir = opt.journal_dir;
+      sweep_opt.resume = opt.resume;
+      if (tty)
+        sweep_opt.progress = [&](std::size_t done, std::size_t total) {
+          std::fprintf(stderr, "\r%s [%zu/%zu]", spec->name.c_str(), done, total);
+        };
 
-    const SweepOutcome out = run_sweep(*spec, sweep_opt);
-    if (tty) std::fprintf(stderr, "\r\033[K");
+      const SweepOutcome out = run_sweep(*spec, sweep_opt);
+      if (tty) std::fprintf(stderr, "\r\033[K");
 
-    total_failures += out.failures;
-    // Serialize each format at most once, shared between stdout and --out.
-    const std::string json =
-        opt.format == "json" || !opt.out_dir.empty() ? to_json(out) : std::string();
-    const std::string csv =
-        opt.format == "csv" || !opt.out_dir.empty() ? to_csv(out) : std::string();
-    if (opt.format == "json") {
-      std::fputs(json.c_str(), stdout);
-    } else if (opt.format == "csv") {
-      std::fputs(csv.c_str(), stdout);
-    } else {
-      std::fputs(render(out).c_str(), stdout);
+      total_failures += out.failures;
+      // Serialize each format at most once, shared between stdout and --out.
+      const std::string json =
+          opt.format == "json" || !opt.out_dir.empty() ? to_json(out) : std::string();
+      const std::string csv =
+          opt.format == "csv" || !opt.out_dir.empty() ? to_csv(out) : std::string();
+      if (opt.format == "json") {
+        std::fputs(json.c_str(), stdout);
+      } else if (opt.format == "csv") {
+        std::fputs(csv.c_str(), stdout);
+      } else {
+        std::fputs(render(out).c_str(), stdout);
+      }
+      if (!opt.out_dir.empty()) {
+        const std::filesystem::path dir(opt.out_dir);
+        if (!write_file(dir / (spec->name + ".json"), json) ||
+            !write_file(dir / (spec->name + ".csv"), csv))
+          std::fprintf(stderr, "warning: could not write outputs for %s\n",
+                       spec->name.c_str());
+      }
+      if (!opt.quiet)
+        std::fprintf(stderr,
+                     "%s: %zu points, %zu cached, %zu resumed, %zu failed "
+                     "(%zu timeout), %zu retried, %zu corrupt-cache, %.2fs (jobs=%u)\n",
+                     spec->name.c_str(), out.points.size(), out.cache_hits, out.resumed,
+                     out.failures, out.timeouts, out.retries, out.cache_corrupt,
+                     out.wall_seconds, jobs);
     }
-    if (!opt.out_dir.empty()) {
-      const std::filesystem::path dir(opt.out_dir);
-      if (!write_file(dir / (spec->name + ".json"), json) ||
-          !write_file(dir / (spec->name + ".csv"), csv))
-        std::fprintf(stderr, "warning: could not write outputs for %s\n", spec->name.c_str());
-    }
-    if (!opt.quiet)
-      std::fprintf(stderr, "%s: %zu points, %zu cached, %zu failed, %.2fs (jobs=%u)\n",
-                   spec->name.c_str(), out.points.size(), out.cache_hits, out.failures,
-                   out.wall_seconds, jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
   }
-  return total_failures == 0 ? 0 : 1;
+  // 3, not 1: quarantined points still produced complete outputs (their
+  // rows carry error/error_class) — scripts can distinguish "partial data"
+  // from "no data".
+  return total_failures == 0 ? 0 : 3;
 }
