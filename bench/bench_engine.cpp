@@ -24,6 +24,7 @@
 #include "driver/registry.hpp"
 #include "driver/sweep.hpp"
 #include "memory/hierarchy.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -145,6 +146,11 @@ int main(int argc, char** argv) {
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
+  // Recorded in the JSON context so scripts/perf_gate.py --obs-overhead can
+  // assert that the measurement it scores really ran with tracing disabled
+  // (the observability layer is compiled in but must cost ~nothing idle).
+  benchmark::AddCustomContext(
+      "hm_observability", hm::obs::tracing_active() ? "enabled" : "disabled");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -24,4 +24,12 @@ fi
 # and ci.yml's can no longer drift apart.
 (cd build && ./hm_sweep run --filter fig7 --jobs 2 --no-cache --quiet)
 
+# Observability smoke: the same experiment with tracing + metrics on, then
+# the trace validator and the metrics-name lint over the artifacts.
+rm -rf build/obs_smoke
+(cd build && ./hm_sweep run --filter fig7 --jobs 2 --no-cache --no-journal \
+  --quiet --trace-dir obs_smoke/traces --metrics-out obs_smoke/metrics.prom)
+python3 scripts/trace_summary.py build/obs_smoke/traces --quiet
+python3 scripts/metrics_lint.py build/obs_smoke/metrics.prom
+
 echo "check.sh: all green"

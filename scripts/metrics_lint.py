@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file against the repo metric-name rules.
+
+    scripts/metrics_lint.py METRICS.prom
+
+Every metric family emitted by hm_sweep --metrics-out must be:
+
+  * "hm_"-prefixed (one namespace for every exporter this repo grows);
+  * lowercase snake_case ([a-z0-9_], no double underscores);
+  * suffixed with a unit or kind: _total, _seconds, _cycles, _bytes,
+    _ratio, _count, _depth, _jobs, _workers or _info (histogram expansions
+    _bucket/_sum/_count are linted against their base family name).
+
+This is the same rule MetricsRegistry enforces at registration (a C++
+violation throws before any metric exists), so the lint's real job is
+guarding the FILE contract: hand-edited fixtures, future exporters, and
+the Release-CI artifact all pass through here.  Structural checks ride
+along: HELP/TYPE pairs precede their samples, sample lines parse, and
+sample names belong to a declared family.
+
+Exit codes: 0 clean, 1 lint violation, 2 usage error.
+"""
+
+import re
+import sys
+
+SUFFIXES = (
+    "_total",
+    "_seconds",
+    "_cycles",
+    "_bytes",
+    "_ratio",
+    "_count",
+    "_depth",
+    "_jobs",
+    "_workers",
+    "_info",
+)
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[^\s]+)(\s+\d+)?$"
+)
+
+
+def valid_family_name(name: str) -> bool:
+    return (
+        name.startswith("hm_")
+        and NAME_RE.match(name) is not None
+        and "__" not in name
+        and name.endswith(SUFFIXES)
+    )
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} METRICS.prom", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"metrics_lint: error: {e}", file=sys.stderr)
+        return 2
+
+    problems = []
+    families = {}  # name -> type
+    histograms = set()
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {i}: HELP without text: {line!r}")
+            name = parts[2] if len(parts) > 2 else ""
+            if not valid_family_name(name):
+                problems.append(
+                    f"line {i}: family name '{name}' violates the lint "
+                    "(hm_-prefixed snake_case with a unit suffix)"
+                )
+            families.setdefault(name, None)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {i}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if name not in families:
+                problems.append(f"line {i}: TYPE before HELP for '{name}'")
+            families[name] = parts[3]
+            if parts[3] == "histogram":
+                histograms.add(name)
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        sample = m.group("name")
+        base = sample
+        # Histogram expansions carry the family's suffix burden.
+        for expansion in ("_bucket", "_sum", "_count"):
+            if sample.endswith(expansion) and sample[: -len(expansion)] in histograms:
+                base = sample[: -len(expansion)]
+                break
+        if base not in families:
+            problems.append(
+                f"line {i}: sample '{sample}' has no HELP/TYPE family"
+            )
+        elif not valid_family_name(base):
+            problems.append(
+                f"line {i}: sample family '{base}' violates the lint"
+            )
+        value = m.group("value")
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                problems.append(f"line {i}: non-numeric value {value!r}")
+
+    if not families:
+        problems.append("no metric families found")
+    if problems:
+        print(f"metrics_lint: {path}: {len(problems)} problem(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"metrics_lint: OK — {len(families)} famil"
+        f"{'y' if len(families) == 1 else 'ies'} clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,14 @@ fail:
 
     scripts/perf_gate.py --fresh fresh.json --baseline doubled.json  # exit 1
 
+Observability-overhead check: --obs-overhead additionally requires every
+scored measurement to carry the benchmark-context tag
+`hm_observability: disabled` (bench_engine records it; PR 7).  The normal
+threshold comparison then doubles as the overhead gate: the observability
+layer is compiled in, no sink is installed, and throughput must still be
+within the regression threshold of the committed (pre-observability)
+baseline — i.e. the disabled-path cost is bounded by bench noise.
+
 Exit codes: 0 gate passed, 1 regression detected, 2 usage/environment
 error (missing files, benchmark crash, malformed JSON).
 """
@@ -74,6 +82,19 @@ def load_json(path: str) -> dict:
         fail(f"{path}: no such file")
     except json.JSONDecodeError as e:
         fail(f"{path}: malformed JSON ({e})")
+
+
+def check_obs_disabled(doc: dict, source: str) -> None:
+    """--obs-overhead: the measurement must self-certify that tracing was
+    disabled, otherwise the 'idle observability costs nothing' claim is
+    untested (missing tag = old binary = equally invalid)."""
+    tag = doc.get("context", {}).get("hm_observability")
+    if tag != "disabled":
+        fail(
+            f"{source}: hm_observability context is {tag!r}, expected "
+            "'disabled' (rebuild bench_engine; --obs-overhead scores only "
+            "tracing-disabled runs)"
+        )
 
 
 def run_bench(bench: str, min_time: float, rep: int) -> dict:
@@ -118,6 +139,10 @@ def main() -> int:
     ap.add_argument("--fresh", metavar="FILE",
                     help="score this pre-captured benchmark JSON instead of "
                          "running --bench (dry-run / self-test hook)")
+    ap.add_argument("--obs-overhead", action="store_true",
+                    help="require the hm_observability=disabled context tag "
+                         "on every scored measurement, making the threshold "
+                         "comparison an observability-overhead gate")
     args = ap.parse_args()
 
     if args.reps < 1:
@@ -131,8 +156,12 @@ def main() -> int:
 
     def measure() -> dict:
         """Median-of-reps throughput for every benchmark (one full pass)."""
-        reps = [throughputs(run_bench(args.bench, args.min_time, r + 1))
-                for r in range(args.reps)]
+        reps = []
+        for r in range(args.reps):
+            doc = run_bench(args.bench, args.min_time, r + 1)
+            if args.obs_overhead:
+                check_obs_disabled(doc, f"{args.bench} rep {r + 1}")
+            reps.append(throughputs(doc))
         medians = {}
         for name in reps[0]:
             samples = [r[name] for r in reps if name in r]
@@ -141,7 +170,10 @@ def main() -> int:
         return medians
 
     if args.fresh:
-        fresh = throughputs(load_json(args.fresh))
+        fresh_doc = load_json(args.fresh)
+        if args.obs_overhead:
+            check_obs_disabled(fresh_doc, args.fresh)
+        fresh = throughputs(fresh_doc)
     else:
         if not os.access(args.bench, os.X_OK):
             fail(f"{args.bench}: not an executable (build with HM_BUILD_BENCH=ON)")

@@ -1,10 +1,15 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace hm {
 namespace {
-LogLevel g_level = LogLevel::Off;
+// Relaxed is enough: enabled() is a pure threshold check and callers never
+// rely on the level change ordering against other memory.
+std::atomic<int> g_level{static_cast<int>(LogLevel::Off)};
+std::mutex g_write_mu;
 
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
@@ -18,10 +23,18 @@ const char* level_name(LogLevel lvl) {
 }
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
+LogLevel Log::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void Log::set_level(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
 
 void Log::write(LogLevel lvl, const std::string& msg) {
+  // One fprintf would usually be atomic enough, but POSIX only guarantees
+  // that for unbuffered streams; serialize explicitly so concurrent worker
+  // threads never interleave mid-line.
+  std::lock_guard<std::mutex> lk(g_write_mu);
   std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
 }
 

@@ -45,6 +45,7 @@
 #include "common/bitops.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace hm {
 
@@ -418,8 +419,15 @@ class SharedResource {
   void account(const OccupancyTimeline::Booking& b, Cycle when) {
     // Branch-light: start >= when always, so the undelayed case adds zeros.
     ++stats_.requests;
-    stats_.delayed += b.start > when ? 1 : 0;
-    stats_.queue_cycles += b.start - when;
+    const Cycle delay = b.start - when;
+    stats_.delayed += delay != 0 ? 1 : 0;
+    stats_.queue_cycles += delay;
+    // Observability: delay windows above the sink-side threshold become
+    // trace spans.  Cost when disabled: this branch only runs on DELAYED
+    // bookings, and tracing_active() is one relaxed load.  Never feeds
+    // back into timing — the booking is already made.
+    if (delay != 0 && obs::tracing_active()) [[unlikely]]
+      obs::sim_resource_delay(name_.c_str(), when, delay);
     if (b.skipped > stats_.peak_occupancy) stats_.peak_occupancy = b.skipped;
     if (b.overflow) [[unlikely]] {
       ++stats_.overflows;

@@ -50,6 +50,26 @@ struct CorruptCacheError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Per-point phase profile: where the wall time of one executed point went
+/// (setup = config + workload + System construction, codegen = kernel
+/// compilation, simulate = System::run, serialize = journal append).
+/// RUNTIME-ONLY, like from_cache: wall times are host-dependent, so they
+/// must never enter point_json/csv_row — the `--jobs N == --jobs 1` and
+/// crash/resume byte-identity invariants are checked on those bytes.
+/// Simulated-cycle attribution rides in RunReport (core.phase_cycles).
+struct PointProfile {
+  double setup_seconds = 0.0;
+  double codegen_seconds = 0.0;
+  double simulate_seconds = 0.0;
+  double serialize_seconds = 0.0;
+  bool measured = false;  ///< false for cache hits / resumed / failed points
+
+  double total_seconds() const {
+    return setup_seconds + codegen_seconds + simulate_seconds +
+           serialize_seconds;
+  }
+};
+
 struct PointResult {
   SweepPoint point;
   bool ok = false;
@@ -60,6 +80,7 @@ struct PointResult {
   // Compiled-kernel classification (the directory-size ablation's columns).
   unsigned mapped_refs = 0;
   unsigned demoted_refs = 0;
+  PointProfile profile;  ///< runtime-only; never serialized
   RunReport report;
 };
 

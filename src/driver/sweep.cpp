@@ -1,5 +1,6 @@
 #include "driver/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -9,12 +10,18 @@
 #include <thread>
 #include <unordered_map>
 
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hpp"
 #include "compiler/codegen.hpp"
 #include "driver/faults.hpp"
 #include "driver/journal.hpp"
 #include "driver/registry.hpp"
 #include "driver/scheduler.hpp"
 #include "driver/watchdog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workloads/microbench.hpp"
 
 namespace hm::driver {
@@ -56,6 +63,18 @@ std::uint64_t tile_seed(std::uint64_t seed, unsigned tile) {
 }  // namespace
 
 PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
+  // Phase profiling: pure wall-clock observation around work the point does
+  // anyway; nothing here feeds back into simulated state.  `sim_begin`
+  // marks the setup/simulate boundary; compile() calls accumulate into
+  // `codegen_s` (they interleave with setup on the multi-core path).
+  using ProfClock = std::chrono::steady_clock;
+  const auto prof_begin = ProfClock::now();
+  auto prof_sim_begin = prof_begin;
+  double codegen_s = 0.0;
+  const auto secs = [](ProfClock::time_point a, ProfClock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
   PointResult out;
   out.point = p;
   if (p.knob("fail") == "1")
@@ -83,6 +102,7 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
     mc.iterations = static_cast<std::uint64_t>(std::llround(200'000.0 * p.scale));
     System sys(std::move(cfg));
     Microbenchmark mb(mc);
+    prof_sim_begin = ProfClock::now();
     out.report = sys.run(mb, cancel);
   } else if (!p.workload.empty()) {
     const Workload w = make_workload(p.workload, {.factor = p.scale});
@@ -96,13 +116,16 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
     const MachineConfig geometry = MachineConfig::hybrid_coherent();
     if (cores == 1) {
       System sys(std::move(cfg));
+      const auto cg_begin = ProfClock::now();
       CompiledKernel kernel =
           compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
+      codegen_s += secs(cg_begin, ProfClock::now());
       out.mapped_refs = kernel.classification().num_regular;
       // Both demotion causes (buffer-cap overflow, stride mismatch) leave a
       // strided ref on the cache path, so the column reports their sum.
       out.demoted_refs =
           kernel.classification().demoted_regular + kernel.classification().demoted_stride;
+      prof_sim_begin = ProfClock::now();
       out.report = sys.run(kernel, cancel);
     } else {
       // SPMD: each tile compiles its own slice of the kernel (same loop
@@ -121,13 +144,16 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
         if (slice.loop.iterations == 0) break;
         CodegenOptions cot = co;
         cot.global_seed = tile_seed(p.seed, t);
+        const auto cg_begin = ProfClock::now();
         kernels.push_back(std::make_unique<CompiledKernel>(
             compile(slice.loop, cot, geometry.lm.virtual_base, geometry.lm.size, dir_entries)));
+        codegen_s += secs(cg_begin, ProfClock::now());
         streams.push_back(kernels.back().get());
       }
       out.mapped_refs = kernels.front()->classification().num_regular;
       out.demoted_refs = kernels.front()->classification().demoted_regular +
                          kernels.front()->classification().demoted_stride;
+      prof_sim_begin = ProfClock::now();
       out.report = sys.run(streams, cancel);
     }
   }
@@ -146,6 +172,14 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
                 std::to_string(out.report.contention_overflows()) +
                 " bookings untracked; contention understated) at " + p.label;
   }
+
+  const auto prof_end = ProfClock::now();
+  out.profile.simulate_seconds =
+      prof_sim_begin == prof_begin ? 0.0 : secs(prof_sim_begin, prof_end);
+  out.profile.codegen_seconds = codegen_s;
+  out.profile.setup_seconds = std::max(
+      0.0, secs(prof_begin, prof_end) - out.profile.simulate_seconds - codegen_s);
+  out.profile.measured = true;  // serialize_seconds is the caller's (journal)
   return out;
 }
 
@@ -201,8 +235,17 @@ PointResult run_point_fortified(const SweepPoint& p, const SweepOptions& opt,
     } catch (const TransientError& e) {
       if (attempt < max_attempts) {
         retries.fetch_add(1, std::memory_order_relaxed);
+        // The backoff wait becomes a sweep-trace span: dead wall time a
+        // stalled sweep spent sleeping is visible, not mysterious.
+        obs::TraceSink* ss = obs::sweep_sink();
+        const std::uint64_t bk0 = ss != nullptr ? ss->now_us() : 0;
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_ms));
+        if (ss != nullptr) {
+          const auto lane = ss->lane(obs::TraceSink::Track::Wall, "retries");
+          ss->span(obs::TraceSink::Track::Wall, lane, "retry.backoff", bk0,
+                   ss->now_us() - bk0, "attempt", static_cast<double>(attempt));
+        }
         backoff_ms = std::min(backoff_ms * 2.0, 1000.0);
         continue;
       }
@@ -235,6 +278,90 @@ PointResult run_point_fortified(const SweepPoint& p, const SweepOptions& opt,
   }
 }
 
+/// Builtin metric handles resolved once per sweep (registration happened in
+/// MetricsRegistry::global(); these lookups only find existing instances).
+struct SweepMetrics {
+  obs::Counter& points = reg().counter("hm_sweep_points_total", "");
+  obs::Counter& failures = reg().counter("hm_sweep_point_failures_total", "");
+  obs::Counter& timeouts = reg().counter("hm_sweep_point_timeouts_total", "");
+  obs::Counter& retries = reg().counter("hm_sweep_point_retries_total", "");
+  obs::Counter& cache_hits = reg().counter("hm_sweep_cache_hits_total", "");
+  obs::Counter& cache_misses = reg().counter("hm_sweep_cache_misses_total", "");
+  obs::Gauge& cache_ratio = reg().gauge("hm_sweep_cache_hit_ratio", "");
+  obs::Gauge& workers = reg().gauge("hm_scheduler_workers", "");
+  obs::Gauge& queue_depth = reg().gauge("hm_scheduler_queue_depth", "");
+  obs::Gauge& utilization =
+      reg().gauge("hm_scheduler_worker_utilization_ratio", "");
+  obs::Histogram& wall = reg().histogram("hm_point_wall_seconds", "", {});
+  obs::Histogram& ph_setup =
+      reg().histogram("hm_point_phase_seconds", "", {}, "phase=\"setup\"");
+  obs::Histogram& ph_codegen =
+      reg().histogram("hm_point_phase_seconds", "", {}, "phase=\"codegen\"");
+  obs::Histogram& ph_simulate =
+      reg().histogram("hm_point_phase_seconds", "", {}, "phase=\"simulate\"");
+  obs::Histogram& ph_serialize =
+      reg().histogram("hm_point_phase_seconds", "", {}, "phase=\"serialize\"");
+  obs::Counter& occ_delay =
+      reg().counter("hm_occupancy_delay_cycles_total", "");
+  obs::Counter& sim_cycles = reg().counter("hm_sim_cycles_total", "");
+
+ private:
+  static obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+};
+
+/// Sweep-trace worker lanes: one display row per OS thread that ever ran a
+/// point.  The id is process-lifetime (lanes are stable across sweeps).
+unsigned worker_lane_id() {
+  static std::atomic<unsigned> seq{0};
+  thread_local unsigned id = seq.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// trace_dir/<experiment>/profile.json: per-point phase attribution (wall
+/// seconds per phase + simulated cycles) and the sweep totals.  A trace
+/// artifact, not a result: wall times are host-dependent and must never
+/// appear in the JSON/CSV the determinism invariants diff.
+void write_profile_json(const std::string& path, const SweepOutcome& out) {
+  std::string text = "{\n\"experiment\":\"" + out.spec->name + "\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"executed\":%zu,\n\"setup_seconds\":%.6f,\n"
+                "\"codegen_seconds\":%.6f,\n\"simulate_seconds\":%.6f,\n"
+                "\"serialize_seconds\":%.6f,\n\"points\":[\n",
+                out.executed, out.setup_seconds, out.codegen_seconds,
+                out.simulate_seconds, out.serialize_seconds);
+  text += buf;
+  bool first = true;
+  for (const PointResult& r : out.points) {
+    if (!r.profile.measured) continue;
+    if (!first) text += ",\n";
+    first = false;
+    text += "{\"label\":\"";
+    append_json_escaped(text, r.point.label);
+    std::snprintf(buf, sizeof buf,
+                  "\",\"setup_seconds\":%.6f,\"codegen_seconds\":%.6f,"
+                  "\"simulate_seconds\":%.6f,\"serialize_seconds\":%.6f,"
+                  "\"sim_cycles\":%llu}",
+                  r.profile.setup_seconds, r.profile.codegen_seconds,
+                  r.profile.simulate_seconds, r.profile.serialize_seconds,
+                  static_cast<unsigned long long>(r.report.cycles()));
+    text += buf;
+  }
+  text += "\n]\n}\n";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return;
+    f << text;
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
 }  // namespace
 
 SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
@@ -248,6 +375,28 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   SweepJournal journal(opt.journal_dir, spec.name);
   const MemoCache disk(opt.cache_dir);
   std::vector<char> resolved(points.size(), 0);
+
+  // Observability setup.  The sweep sink collects driver-level events; each
+  // executed point gets its own sink (and file) inside the scheduler body so
+  // concurrent points never interleave their engine timelines.  Metric
+  // handles resolve to pre-registered builtins — no registration happens on
+  // worker threads, keeping exposition order deterministic.
+  SweepMetrics mx;
+  std::string trace_exp_dir;
+  std::unique_ptr<obs::TraceSink> sweep_trace;
+  if (!opt.trace_dir.empty()) {
+    trace_exp_dir = opt.trace_dir + "/" + spec.name;
+    std::error_code ec;
+    std::filesystem::create_directories(trace_exp_dir, ec);
+    if (ec) {
+      HM_WARN("trace: cannot create " << trace_exp_dir << ": " << ec.message()
+                                      << " — tracing disabled for this sweep");
+      trace_exp_dir.clear();
+    } else {
+      sweep_trace = std::make_unique<obs::TraceSink>();
+    }
+  }
+  obs::ScopedSweepSink sweep_sink_guard(sweep_trace.get());
 
   // Resume pass: replay intact journal records (ok AND quarantined — a
   // finished point is a finished point) before consulting any cache, so an
@@ -265,6 +414,11 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
       out.points[i].point = points[i];
       resolved[i] = 1;
       ++out.resumed;
+      if (sweep_trace) {
+        const auto lane = sweep_trace->lane(obs::TraceSink::Track::Wall, "journal");
+        sweep_trace->instant(obs::TraceSink::Track::Wall, lane, "journal.replay",
+                             sweep_trace->now_us());
+      }
       if (out.points[i].ok && opt.session_cache)
         opt.session_cache->store(out.points[i]);
     }
@@ -285,8 +439,18 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
     if (hit) {
       out.points[i] = std::move(*hit);
       ++out.cache_hits;
+      if (sweep_trace) {
+        const auto lane = sweep_trace->lane(obs::TraceSink::Track::Wall, "cache");
+        sweep_trace->instant(obs::TraceSink::Track::Wall, lane, "cache.hit",
+                             sweep_trace->now_us());
+      }
     } else {
       todo.push_back(i);
+      if (sweep_trace) {
+        const auto lane = sweep_trace->lane(obs::TraceSink::Track::Wall, "cache");
+        sweep_trace->instant(obs::TraceSink::Track::Wall, lane, "cache.miss",
+                             sweep_trace->now_us());
+      }
     }
   }
 
@@ -294,17 +458,110 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   if (opt.point_deadline_seconds > 0.0) dog.emplace();
 
   std::atomic<std::size_t> retries{0};
+  std::atomic<double> busy_seconds{0.0};
+  std::atomic<bool> observer_armed{static_cast<bool>(opt.point_observer)};
   SweepScheduler scheduler(opt.jobs);
+  mx.workers.set(static_cast<double>(scheduler.jobs()));
+  mx.queue_depth.set(static_cast<double>(todo.size()));
+  // Queue depth rides the existing exception-guarded progress callback; the
+  // user's callback (if any) is chained after the gauge update.
+  const SweepScheduler::Progress progress =
+      [&mx, user = opt.progress](std::size_t done, std::size_t total) {
+        mx.queue_depth.set(static_cast<double>(total - done));
+        if (user) user(done, total);
+      };
   const std::vector<std::string> errors = scheduler.run(
       todo.size(),
       [&](std::size_t t) {
-        out.points[todo[t]] = run_point_fortified(
-            points[todo[t]], opt, dog ? &*dog : nullptr, retries);
+        const std::size_t i = todo[t];
+        const auto pt_begin = std::chrono::steady_clock::now();
+        // Per-point trace sink: installed thread-locally for the duration
+        // of the simulation so engine emit sites find it; one file per
+        // point keeps concurrent points' timelines apart.
+        std::unique_ptr<obs::TraceSink> point_trace;
+        if (!trace_exp_dir.empty())
+          point_trace = std::make_unique<obs::TraceSink>();
+        {
+          obs::ScopedThreadSink sink_guard(point_trace.get());
+          out.points[i] = run_point_fortified(points[i], opt,
+                                              dog ? &*dog : nullptr, retries);
+        }
+        PointResult& r = out.points[i];
         // Journal as each point lands (ok or quarantined): after a crash at
-        // any instant, everything already finished is recoverable.
-        journal.append(out.points[todo[t]]);
+        // any instant, everything already finished is recoverable.  The
+        // append is the point's serialize phase.
+        const auto ser_begin = std::chrono::steady_clock::now();
+        journal.append(r);
+        const auto pt_end = std::chrono::steady_clock::now();
+        if (r.profile.measured)
+          r.profile.serialize_seconds =
+              std::chrono::duration<double>(pt_end - ser_begin).count();
+
+        const double pt_secs =
+            std::chrono::duration<double>(pt_end - pt_begin).count();
+        busy_seconds.fetch_add(pt_secs, std::memory_order_relaxed);
+        mx.points.inc();
+        mx.wall.observe(pt_secs);
+        if (r.profile.measured) {
+          mx.ph_setup.observe(r.profile.setup_seconds);
+          mx.ph_codegen.observe(r.profile.codegen_seconds);
+          mx.ph_simulate.observe(r.profile.simulate_seconds);
+          mx.ph_serialize.observe(r.profile.serialize_seconds);
+        }
+        mx.sim_cycles.inc(static_cast<double>(r.report.cycles()));
+        mx.occ_delay.inc(static_cast<double>(
+            r.report.l2_port.queue_cycles + r.report.l3_port.queue_cycles +
+            r.report.dram.queue_cycles + r.report.dma_bus.queue_cycles));
+
+        if (sweep_trace) {
+          // Scheduler job lifecycle: one span per point on this worker's
+          // lane of the sweep timeline.
+          char lane_name[24];
+          std::snprintf(lane_name, sizeof lane_name, "worker%u",
+                        worker_lane_id());
+          const auto lane =
+              sweep_trace->lane(obs::TraceSink::Track::Wall, lane_name);
+          sweep_trace->span(obs::TraceSink::Track::Wall, lane,
+                            sweep_trace->intern(r.point.label),
+                            sweep_trace->to_us(pt_begin),
+                            sweep_trace->to_us(pt_end) -
+                                sweep_trace->to_us(pt_begin),
+                            "attempts", static_cast<double>(r.attempts));
+        }
+        if (point_trace) {
+          // Wall-track phase attribution, stacked in phase order (codegen
+          // interleaves with setup on the multi-core path, so these are
+          // attribution bars, not literal sub-intervals).
+          const auto lane =
+              point_trace->lane(obs::TraceSink::Track::Wall, "phases");
+          const auto us = [](double s) {
+            return static_cast<std::uint64_t>(s * 1e6);
+          };
+          std::uint64_t at = point_trace->to_us(pt_begin);
+          const std::pair<const char*, double> phases[] = {
+              {"phase.setup", r.profile.setup_seconds},
+              {"phase.codegen", r.profile.codegen_seconds},
+              {"phase.simulate", r.profile.simulate_seconds},
+              {"phase.serialize", r.profile.serialize_seconds}};
+          for (const auto& [name, secs] : phases) {
+            if (r.profile.measured && secs > 0.0)
+              point_trace->span(obs::TraceSink::Track::Wall, lane, name, at,
+                                us(secs));
+            at += us(secs);
+          }
+          char fname[48];
+          std::snprintf(fname, sizeof fname, "point_%04zu.trace.json", i);
+          point_trace->write_file(trace_exp_dir + "/" + fname);
+        }
+        if (observer_armed.load(std::memory_order_relaxed)) {
+          try {
+            opt.point_observer(r);
+          } catch (...) {
+            observer_armed.store(false, std::memory_order_relaxed);
+          }
+        }
       },
-      opt.progress);
+      progress);
 
   for (std::size_t t = 0; t < todo.size(); ++t) {
     const std::size_t i = todo[t];
@@ -331,6 +588,30 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   out.retries = retries.load(std::memory_order_relaxed);
   out.cache_corrupt = disk.corrupt_entries();
 
+  // Phase attribution over executed points (profile.measured excludes cache
+  // hits, resumed replays, and points that failed before measuring).
+  for (const PointResult& r : out.points) {
+    if (!r.profile.measured) continue;
+    ++out.executed;
+    out.setup_seconds += r.profile.setup_seconds;
+    out.codegen_seconds += r.profile.codegen_seconds;
+    out.simulate_seconds += r.profile.simulate_seconds;
+    out.serialize_seconds += r.profile.serialize_seconds;
+  }
+
+  // Sweep-level metrics: counters accumulate across sweeps in one process;
+  // gauges reflect the last sweep.
+  mx.failures.inc(static_cast<double>(out.failures));
+  mx.timeouts.inc(static_cast<double>(out.timeouts));
+  mx.retries.inc(static_cast<double>(out.retries));
+  mx.cache_hits.inc(static_cast<double>(out.cache_hits));
+  mx.cache_misses.inc(static_cast<double>(todo.size()));
+  mx.queue_depth.set(0.0);
+  const std::size_t looked_up = out.cache_hits + todo.size();
+  if (looked_up != 0)
+    mx.cache_ratio.set(static_cast<double>(out.cache_hits) /
+                       static_cast<double>(looked_up));
+
   // Clean completion: compact the journal to exactly the final result set,
   // so repeated journaled runs stay O(points) and a later --resume replays
   // everything instantly.
@@ -338,6 +619,17 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
 
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double worker_span =
+      static_cast<double>(scheduler.jobs()) * out.wall_seconds;
+  if (worker_span > 0.0)
+    mx.utilization.set(std::min(
+        1.0, busy_seconds.load(std::memory_order_relaxed) / worker_span));
+
+  // Trace artifacts last, so they capture the whole sweep.
+  if (!trace_exp_dir.empty()) {
+    if (sweep_trace) sweep_trace->write_file(trace_exp_dir + "/sweep.trace.json");
+    write_profile_json(trace_exp_dir + "/profile.json", out);
+  }
   return out;
 }
 

@@ -65,6 +65,19 @@ struct SweepOptions {
   // byte-exact: the resumed sweep's JSON/CSV equal an uninterrupted run's.
   std::string journal_dir;  ///< "" = journaling off
   bool resume = false;      ///< replay journal records for this spec first
+
+  // Observability (src/obs).  A non-empty trace_dir writes Chrome
+  // trace_event JSON under trace_dir/<experiment>/: one point_NNNN.trace.json
+  // per executed point (simulated-cycle engine timelines + wall phase
+  // spans), a sweep.trace.json for driver-level events (job lifecycle,
+  // journal appends, cache hits, retry backoffs) and a profile.json with
+  // per-point phase attribution.  Tracing never perturbs simulated results
+  // — emitted JSON/CSV is byte-identical with tracing on or off.
+  std::string trace_dir;  ///< "" = tracing off
+  /// Per-point callback after every EXECUTED point (not cache hits), from
+  /// worker threads.  Exception-guarded like `progress`: a throwing
+  /// observer is disarmed for the rest of the sweep, never kills a worker.
+  std::function<void(const PointResult&)> point_observer;
 };
 
 struct SweepOutcome {
@@ -77,6 +90,14 @@ struct SweepOutcome {
   std::size_t resumed = 0;        ///< points replayed from the journal
   std::size_t cache_corrupt = 0;  ///< corrupt memo-cache files (degraded to misses)
   double wall_seconds = 0.0;  ///< diagnostics only; never serialized
+  // Phase attribution summed over EXECUTED points (cache hits and resumed
+  // points did not run, so they contribute nothing).  Diagnostics only;
+  // never serialized into JSON/CSV.
+  std::size_t executed = 0;  ///< points actually simulated this run
+  double setup_seconds = 0.0;
+  double codegen_seconds = 0.0;
+  double simulate_seconds = 0.0;
+  double serialize_seconds = 0.0;
 };
 
 SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt = {});

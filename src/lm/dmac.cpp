@@ -1,9 +1,11 @@
 #include "lm/dmac.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "obs/trace.hpp"
 
 namespace hm {
 
@@ -50,6 +52,12 @@ Cycle DmaController::get(Cycle now, Addr sm_src, Addr lm_dst, Bytes size, unsign
   const Cycle queued = now + cfg_.startup;
   const Cycle start = hierarchy_.dma_bus_grant(std::max(queued, engine_free_),
                                                nlines * cfg_.per_line);
+  // Observability: the granted bus window.  Windows are globally disjoint
+  // (the bus books whole spans on a gap-1 timeline), so the emitted spans
+  // never overlap within a lane or across tiles.
+  if (obs::tracing_active()) [[unlikely]]
+    obs::sim_span(trace_lane_, "dma.get", start, nlines * cfg_.per_line,
+                  "bytes", static_cast<double>(size));
   Cycle t;
   if (engine_free_ <= queued) {
     t = hierarchy_.dma_read_line(start, first);
@@ -95,6 +103,9 @@ Cycle DmaController::put(Cycle now, Addr lm_src, Addr sm_dst, Bytes size, unsign
   const Cycle queued = now + cfg_.startup;
   const Cycle bus_ready = std::max(queued, engine_free_);
   const Cycle start = hierarchy_.dma_bus_grant(bus_ready, nlines * cfg_.per_line);
+  if (obs::tracing_active()) [[unlikely]]
+    obs::sim_span(trace_lane_, "dma.put", start, nlines * cfg_.per_line,
+                  "bytes", static_cast<double>(size));
   // The first posted write may slip ahead of a busy engine's tail (it needs
   // only the command decode); it shifts with the cross-tile bus delay.
   hierarchy_.dma_write_line(queued + (start - bus_ready), first);
@@ -124,6 +135,10 @@ Cycle DmaController::synch(Cycle now, std::uint32_t tag_mask) const {
 void DmaController::reset() {
   engine_free_ = 0;
   tag_complete_.fill(0);
+}
+
+void DmaController::set_trace_lane(unsigned tile_id) {
+  std::snprintf(trace_lane_, sizeof trace_lane_, "tile%u.dma", tile_id);
 }
 
 }  // namespace hm

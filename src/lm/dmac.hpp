@@ -81,6 +81,10 @@ class DmaController {
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }
 
+  /// Names this DMAC's trace lane "tile<id>.dma" (observability only; the
+  /// DMAC itself does not know which tile owns it).  Defaults to tile 0.
+  void set_trace_lane(unsigned tile_id);
+
  private:
   void check_tag(unsigned tag) const;
 
@@ -90,6 +94,7 @@ class DmaController {
   CoherenceDirectory* directory_;  ///< null on the incoherent/oracle machine
   ByteStore* image_;               ///< null when running timing-only
   Cycle engine_free_ = 0;
+  char trace_lane_[16] = "tile0.dma";
   std::array<Cycle, 64> tag_complete_{};
   StatGroup stats_;
   Counter* gets_;

@@ -1,5 +1,7 @@
 #include "memory/uncore.hpp"
 
+#include "obs/trace.hpp"
+
 namespace hm {
 
 Uncore::Uncore(const HierarchyConfig& cfg)
@@ -52,6 +54,18 @@ void Uncore::reset() {
   l2_port_.reset();
   l3_port_.reset();
   dma_bus_.reset();
+}
+
+void Uncore::emit_contention_trace(Cycle end) const {
+  const SharedResource* resources[] = {&l2_port_, &l3_port_, &mem_.port(),
+                                       &dma_bus_};
+  for (const SharedResource* r : resources) {
+    const SharedResource::Contention& c = r->contention();
+    if (c.requests == 0) continue;
+    const std::string lane = "res." + r->name();
+    obs::sim_instant(lane.c_str(), "contention_summary", end, "queue_cycles",
+                     static_cast<double>(c.queue_cycles));
+  }
 }
 
 void Uncore::reset_stats() {

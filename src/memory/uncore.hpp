@@ -110,6 +110,11 @@ class Uncore {
   /// port/bus contention).
   void reset_stats();
 
+  /// Observability: emit one end-of-run contention-summary trace instant
+  /// per shared resource (l2_port / l3_port / dram / dma_bus) at @p end on
+  /// the current thread's trace sink.  No-op without an installed sink.
+  void emit_contention_trace(Cycle end) const;
+
   SetAssocCache& l2() { return l2_; }
   SetAssocCache& l3() { return l3_; }
   MainMemory& memory() { return mem_; }

@@ -1,0 +1,145 @@
+// Metrics registry with Prometheus text exposition.
+//
+// Families are registered once (name + help + type, name lint enforced at
+// registration: "hm_"-prefixed snake_case with a unit suffix) and hold
+// labeled instances.  Exposition order is deterministic: families in
+// registration order, instances in creation order — two runs registering
+// the same metrics in the same order produce byte-identical .prom output
+// modulo the values themselves.
+//
+// Thread-safety: registration is mutex-serialized (and, by convention,
+// done single-threaded in driver setup so order stays deterministic);
+// updates are lock-free atomics for counters/gauges and a short mutex for
+// histograms — cheap enough for per-point worker-thread use, and never on
+// the simulated hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hm::obs {
+
+// Registration-time lint: "hm_" prefix, lowercase snake_case, and one of
+// the sanctioned unit/kind suffixes.  Throws std::invalid_argument via
+// MetricsRegistry on violation; scripts/metrics_lint.py applies the same
+// rule to the emitted .prom file.
+bool valid_metric_name(const std::string& name);
+
+class Counter {
+ public:
+  void inc(double v = 1.0) {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  // Tracks the maximum ever set()/add()-ed alongside the live value — used
+  // for e.g. peak queue depth without a second family.
+  void set_and_track_max(double v) {
+    set(v);
+    double cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class Histogram {
+ public:
+  // Bucket upper bounds (exclusive of +Inf, which is implicit), ascending.
+  explicit Histogram(std::vector<double> bounds);
+  void observe(double v);
+  double sum() const;
+  std::uint64_t count() const;
+  // Cumulative count at each bound (Prometheus le= semantics), +Inf last.
+  std::vector<std::uint64_t> cumulative() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // per-bucket, bounds_.size() + 1
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry with the driver's builtin families pre-registered
+  // (in a fixed order, see metrics.cpp).
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create.  `labels` is a pre-rendered Prometheus label body, e.g.
+  // R"(experiment="scaling")" — empty for an unlabeled instance.  Help is
+  // taken from the first registration of a family; type mismatches throw.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds,
+                       const std::string& labels = {});
+
+  // Prometheus text exposition (version 0.0.4): HELP/TYPE per family, then
+  // one sample line per instance (histograms expand to _bucket/_sum/_count).
+  std::string expose() const;
+  // tmp + atomic rename; returns false (and logs) on I/O error.
+  bool write_file(const std::string& path) const;
+
+  // Test hook: drops every family.  Do not call on global() mid-sweep.
+  void reset_for_test();
+
+ private:
+  struct Instance {
+    std::string labels;
+    // exactly one non-null, matching the family type
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::vector<double> bounds;  // histograms only
+    std::deque<Instance> instances;
+  };
+
+  Family& family(const std::string& name, const std::string& help,
+                 MetricType type);
+  Instance& instance(Family& f, const std::string& labels);
+
+  mutable std::mutex mu_;
+  std::deque<Family> families_;  // registration order == exposition order
+};
+
+// Registers the driver's builtin (unlabeled) families on a registry in a
+// fixed, deterministic order.  Called once for global(); tests call it on
+// fresh registries.
+void register_builtin_metrics(MetricsRegistry& reg);
+
+}  // namespace hm::obs

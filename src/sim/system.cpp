@@ -1,16 +1,44 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace hm {
+namespace {
+
+// Per-tile kernel-phase spans on lane "tileN": the whole run plus the three
+// ExecPhase buckets stacked in phase order.  The phase buckets are cycle
+// ATTRIBUTION (they sum to the tile's busy accounting, not to a literal
+// sub-interval timeline), rendered stacked so relative weight is visible.
+void emit_tile_phase_trace(std::size_t tile, const RunResult& r) {
+  char lane[24];
+  std::snprintf(lane, sizeof lane, "tile%u", static_cast<unsigned>(tile));
+  obs::sim_span(lane, "tile.run", 0, r.cycles, "uops",
+                static_cast<double>(r.uops));
+  static constexpr const char* kPhaseNames[kNumPhases] = {"phase.work",
+                                                          "phase.control",
+                                                          "phase.synch"};
+  Cycle at = 0;
+  for (unsigned p = 0; p < kNumPhases; ++p) {
+    if (r.phase_cycles[p] != 0)
+      obs::sim_span(lane, kPhaseNames[p], at, r.phase_cycles[p]);
+    at += r.phase_cycles[p];
+  }
+}
+
+}  // namespace
 
 System::System(MachineConfig cfg, unsigned n_cores)
     : cfg_(std::move(cfg)), uncore_(cfg_.hierarchy), energy_model_(cfg_.energy) {
   if (n_cores == 0) throw std::invalid_argument("System needs at least one core");
   tiles_.reserve(n_cores);
-  for (unsigned i = 0; i < n_cores; ++i)
+  for (unsigned i = 0; i < n_cores; ++i) {
     tiles_.push_back(std::make_unique<Tile>(cfg_, uncore_, &image_));
+    if (DmaController* d = tiles_.back()->dmac()) d->set_trace_lane(i);
+  }
 }
 
 void System::reset_timing_state() {
@@ -59,6 +87,7 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
                            "run cancelled (watchdog or external)");
     programs[i]->reset();
     results[i] = tiles_[i]->core().run(*programs[i], cancel);
+    if (obs::tracing_active()) [[unlikely]] emit_tile_phase_trace(i, results[i]);
   }
 
   RunReport report;
@@ -165,6 +194,9 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
   report.l3_port = uncore_.l3_port().contention();
   report.dram = uncore_.memory().port().contention();
   report.dma_bus = uncore_.dma_bus().contention();
+
+  if (obs::tracing_active()) [[unlikely]]
+    uncore_.emit_contention_trace(agg.cycles);
 
   report.amat = agg.amat();
   report.l1_hit_ratio = 100.0 * safe_ratio(l1_hits, l1_lookups);

@@ -30,6 +30,15 @@
 //     --max-point-cycles N  deterministic per-point simulated-cycle budget
 //     --faults SPEC       deterministic fault injection (also: HM_FAULTS
 //                         env; the flag wins) — see driver/faults.hpp
+//   Observability (see README "Observability"):
+//     --trace-dir DIR     Chrome trace_event JSON + profile.json per
+//                         experiment under DIR/<name>/ (chrome://tracing,
+//                         Perfetto); never perturbs simulated results
+//     --metrics-out FILE  Prometheus text exposition of the metrics
+//                         registry, written once after all sweeps (suitable
+//                         for node-exporter textfile scraping)
+//     --progress          live one-line progress on stderr: done/total,
+//                         ok/quarantined/retried counts, ETA
 //
 // Exit status: 0 all points ok; 3 some points quarantined (outputs still
 // emitted, failed rows carry error/error_class); 1 fatal driver error;
@@ -44,12 +53,16 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+
 #include "driver/experiment.hpp"
 #include "driver/faults.hpp"
 #include "driver/registry.hpp"
 #include "driver/result.hpp"
 #include "driver/scheduler.hpp"
 #include "driver/sweep.hpp"
+#include "obs/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -74,6 +87,9 @@ struct CliOptions {
   double deadline_seconds = 0.0;
   std::uint64_t max_point_cycles = 0;
   std::string faults;  // --faults beats HM_FAULTS
+  std::string trace_dir;
+  std::string metrics_out;
+  bool live_progress = false;
 };
 
 int usage(const char* argv0, int code) {
@@ -83,7 +99,8 @@ int usage(const char* argv0, int code) {
                "       [--no-cache] [--scale F|full] [--quiet]\n"
                "       [--journal-dir DIR] [--no-journal] [--resume]\n"
                "       [--retries N] [--deadline SECS] [--max-point-cycles N]\n"
-               "       [--faults SPEC]\n",
+               "       [--faults SPEC] [--trace-dir DIR] [--metrics-out FILE]\n"
+               "       [--progress]\n",
                argv0);
   return code;
 }
@@ -229,6 +246,16 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = need_value(i);
       if (!v) return false;
       opt.faults = v;
+    } else if (arg == "--trace-dir") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.trace_dir = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.metrics_out = v;
+    } else if (arg == "--progress") {
+      opt.live_progress = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
       std::exit(0);
@@ -351,6 +378,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume needs a journal (drop --no-journal)\n");
     return usage(argv[0], 2);
   }
+  if (opt.live_progress && opt.quiet) {
+    std::fprintf(stderr, "--progress and --quiet are contradictory\n");
+    return usage(argv[0], 2);
+  }
 
   // Deterministic fault injection: --faults wins over the HM_FAULTS
   // environment variable; a malformed spec is a loud usage error, never a
@@ -421,13 +452,45 @@ int main(int argc, char** argv) {
       sweep_opt.max_point_cycles = opt.max_point_cycles;
       sweep_opt.journal_dir = opt.journal_dir;
       sweep_opt.resume = opt.resume;
-      if (tty)
+      sweep_opt.trace_dir = opt.trace_dir;
+
+      // Live progress: done/total from the scheduler callback (exception-
+      // guarded, serialized, monotonic), ok/quarantined/retried from the
+      // per-point observer, ETA from elapsed/done.  Both callbacks run on
+      // worker threads, hence the atomics.
+      std::atomic<std::size_t> live_ok{0}, live_fail{0}, live_retried{0};
+      const auto sweep_t0 = std::chrono::steady_clock::now();
+      if (opt.live_progress) {
+        sweep_opt.point_observer = [&](const PointResult& r) {
+          (r.ok ? live_ok : live_fail).fetch_add(1, std::memory_order_relaxed);
+          if (r.attempts > 1)
+            live_retried.fetch_add(r.attempts - 1, std::memory_order_relaxed);
+        };
+        sweep_opt.progress = [&](std::size_t done, std::size_t total) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            sweep_t0)
+                  .count();
+          const double eta =
+              done != 0 ? elapsed / static_cast<double>(done) *
+                              static_cast<double>(total - done)
+                        : 0.0;
+          std::fprintf(stderr,
+                       "\r\033[K%s [%zu/%zu] ok %zu quarantined %zu retried "
+                       "%zu eta %.1fs",
+                       spec->name.c_str(), done, total,
+                       live_ok.load(std::memory_order_relaxed),
+                       live_fail.load(std::memory_order_relaxed),
+                       live_retried.load(std::memory_order_relaxed), eta);
+        };
+      } else if (tty) {
         sweep_opt.progress = [&](std::size_t done, std::size_t total) {
           std::fprintf(stderr, "\r%s [%zu/%zu]", spec->name.c_str(), done, total);
         };
+      }
 
       const SweepOutcome out = run_sweep(*spec, sweep_opt);
-      if (tty) std::fprintf(stderr, "\r\033[K");
+      if (tty || opt.live_progress) std::fprintf(stderr, "\r\033[K");
 
       total_failures += out.failures;
       // Serialize each format at most once, shared between stdout and --out.
@@ -449,13 +512,33 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "warning: could not write outputs for %s\n",
                        spec->name.c_str());
       }
-      if (!opt.quiet)
+      if (!opt.quiet) {
         std::fprintf(stderr,
                      "%s: %zu points, %zu cached, %zu resumed, %zu failed "
                      "(%zu timeout), %zu retried, %zu corrupt-cache, %.2fs (jobs=%u)\n",
                      spec->name.c_str(), out.points.size(), out.cache_hits, out.resumed,
                      out.failures, out.timeouts, out.retries, out.cache_corrupt,
                      out.wall_seconds, jobs);
+        if (out.executed != 0)
+          std::fprintf(stderr,
+                       "%s: phases over %zu executed: setup %.2fs, codegen "
+                       "%.2fs, simulate %.2fs, serialize %.2fs\n",
+                       spec->name.c_str(), out.executed, out.setup_seconds,
+                       out.codegen_seconds, out.simulate_seconds,
+                       out.serialize_seconds);
+      }
+    }
+    // One exposition covering every sweep this invocation ran (counters
+    // accumulate across experiments; gauges reflect the last one).
+    if (!opt.metrics_out.empty()) {
+      const std::filesystem::path p(opt.metrics_out);
+      if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+      }
+      if (!hm::obs::MetricsRegistry::global().write_file(opt.metrics_out))
+        std::fprintf(stderr, "warning: could not write --metrics-out %s\n",
+                     opt.metrics_out.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fatal: %s\n", e.what());
