@@ -41,6 +41,17 @@ layer is compiled in, no sink is installed, and throughput must still be
 within the regression threshold of the committed (pre-observability)
 baseline — i.e. the disabled-path cost is bounded by bench noise.
 
+Parallel-speedup check: --parallel-speedup MIN additionally requires the
+fresh measurement's BM_SystemRunParallel/8 throughput (8 relaxed tile
+threads on an 8-tile point) to be at least MIN x the BM_SystemRunParallel/1
+row (the serial reference engine) — both from the SAME fresh pass, so the
+check is host-relative and immune to the absolute-throughput caveat above.
+Hosts with fewer than 2*MIN cores cannot physically exhibit the required
+speedup, so the check SKIPS (with a loud note) when the benchmark context
+reports num_cpus below that — it enforces on multi-core CI runners and
+stays quiet on the 1-vCPU baseline-measurement host.  Like the regression
+gate, a failing first pass is re-measured once before failing CI.
+
 Exit codes: 0 gate passed, 1 regression detected, 2 usage/environment
 error (missing files, benchmark crash, malformed JSON).
 """
@@ -97,6 +108,28 @@ def check_obs_disabled(doc: dict, source: str) -> None:
         )
 
 
+PARALLEL_BENCH = "BM_SystemRunParallel"
+
+
+def parallel_speedup(medians: dict) -> "float | None":
+    """Throughput ratio of the 8-tile-thread row over the 1-thread (serial
+    engine) row, or None if either is missing.  Matched by prefix: the
+    benchmark runs with UseRealTime, which suffixes names with
+    /real_time."""
+
+    def find(arg: int) -> "float | None":
+        prefix = f"{PARALLEL_BENCH}/{arg}"
+        for name, ips in medians.items():
+            if name == prefix or name.startswith(prefix + "/"):
+                return ips
+        return None
+
+    serial, parallel = find(1), find(8)
+    if serial is None or parallel is None:
+        return None
+    return parallel / serial
+
+
 def run_bench(bench: str, min_time: float, rep: int) -> dict:
     """One benchmark repetition, captured via --benchmark_out (stdout stays
     human-readable in the CI log)."""
@@ -143,6 +176,10 @@ def main() -> int:
                     help="require the hm_observability=disabled context tag "
                          "on every scored measurement, making the threshold "
                          "comparison an observability-overhead gate")
+    ap.add_argument("--parallel-speedup", type=float, metavar="MIN",
+                    help="require BM_SystemRunParallel/8 to be at least MIN x "
+                         "the /1 row in the fresh measurement; skipped when "
+                         "the host has fewer than 2*MIN cpus")
     args = ap.parse_args()
 
     if args.reps < 1:
@@ -154,6 +191,8 @@ def main() -> int:
     if not baseline:
         fail(f"{args.baseline}: no benchmarks with items_per_second")
 
+    host_cpus = [None]  # num_cpus from the fresh measurement's context
+
     def measure() -> dict:
         """Median-of-reps throughput for every benchmark (one full pass)."""
         reps = []
@@ -161,6 +200,7 @@ def main() -> int:
             doc = run_bench(args.bench, args.min_time, r + 1)
             if args.obs_overhead:
                 check_obs_disabled(doc, f"{args.bench} rep {r + 1}")
+            host_cpus[0] = doc.get("context", {}).get("num_cpus")
             reps.append(throughputs(doc))
         medians = {}
         for name in reps[0]:
@@ -173,6 +213,7 @@ def main() -> int:
         fresh_doc = load_json(args.fresh)
         if args.obs_overhead:
             check_obs_disabled(fresh_doc, args.fresh)
+        host_cpus[0] = fresh_doc.get("context", {}).get("num_cpus")
         fresh = throughputs(fresh_doc)
     else:
         if not os.access(args.bench, os.X_OK):
@@ -227,11 +268,53 @@ def main() -> int:
     else:
         regressions = [(name, fresh[name] / baseline[name]) for name in regressions]
 
+    # --parallel-speedup: a host-relative check on the SAME fresh medians —
+    # the 8-tile-thread row must beat the serial row by the required factor.
+    speedup_failed = False
+    if args.parallel_speedup is not None:
+        need = args.parallel_speedup
+        if need <= 1.0:
+            fail("--parallel-speedup must be > 1")
+        min_cpus = max(2, int(2 * need))
+        cpus = host_cpus[0]
+        if not isinstance(cpus, int):
+            fail("fresh measurement context lacks num_cpus; cannot judge "
+                 "whether the host can exhibit parallel speedup")
+        sp = parallel_speedup(fresh)
+        if sp is None:
+            fail(f"--parallel-speedup: {PARALLEL_BENCH}/1 and /8 are not both "
+                 "present in the fresh measurement (rebuild bench_engine)")
+        if cpus < min_cpus:
+            print(f"perf_gate: parallel-speedup check SKIPPED — host has "
+                  f"{cpus} cpu(s), fewer than the {min_cpus} needed to "
+                  f"exhibit {need:.1f}x (measured {sp:.2f}x for the record)")
+        elif sp >= need:
+            print(f"perf_gate: parallel speedup OK — {sp:.2f}x at 8 tile "
+                  f"threads (>= {need:.1f}x required, {cpus} cpus)")
+        elif not args.fresh:
+            # Same noisy-host courtesy as the regression gate: one re-measure.
+            print(f"perf_gate: parallel speedup {sp:.2f}x < {need:.1f}x — "
+                  "re-measuring once to rule out host noise")
+            sp2 = parallel_speedup(measure())
+            if sp2 is not None and sp2 >= need:
+                print(f"perf_gate: parallel speedup OK on second pass — "
+                      f"{sp2:.2f}x (first pass was host noise)")
+            else:
+                speedup_failed = True
+                sp = sp2 if sp2 is not None else sp
+        else:
+            speedup_failed = True
+
     if regressions:
         worst = min(regressions, key=lambda nr: nr[1])
         print(f"perf_gate: FAIL — {len(regressions)} benchmark(s) regressed "
               f">{args.threshold:.0%} in both passes "
               f"(worst: {worst[0]} at {worst[1]:.2f}x)",
+              file=sys.stderr)
+        return 1
+    if speedup_failed:
+        print(f"perf_gate: FAIL — parallel engine speedup {sp:.2f}x at 8 tile "
+              f"threads is below the required {args.parallel_speedup:.1f}x",
               file=sys.stderr)
         return 1
     print("perf_gate: OK")

@@ -17,7 +17,35 @@ OooCore::OooCore(CoreConfig cfg, MemoryHierarchy& hierarchy, LocalMemory* lm,
 }
 
 RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
-  RunResult res;
+  begin_run(program);
+  step_until(kNoCycle, cancel);
+  return finish_run();
+}
+
+void OooCore::begin_run(InstrStream& program) {
+  run_state_ = std::make_unique<RunState>(cfg_);
+  run_state_->program = &program;
+}
+
+Cycle OooCore::front() const {
+  if (run_state_ == nullptr) throw std::logic_error("front() without begin_run");
+  return run_state_->dispatch_cycle;
+}
+
+RunResult OooCore::finish_run() {
+  if (run_state_ == nullptr) throw std::logic_error("finish_run without begin_run");
+  RunResult res = std::move(run_state_->res);
+  res.cycles = run_state_->last_retire;
+  run_state_.reset();
+  return res;
+}
+
+bool OooCore::step_until(Cycle limit, const CancelToken* cancel) {
+  if (run_state_ == nullptr) throw std::logic_error("step_until without begin_run");
+  RunState& st = *run_state_;
+  if (st.exhausted) return true;
+
+  RunResult& res = st.res;
 
   Counter& c_int = stats_.counter("int_ops");
   Counter& c_fp = stats_.counter("fp_ops");
@@ -39,26 +67,34 @@ RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
   Counter& c_mismatch = stats_.counter("value_mismatches");
   Counter& c_fetch_groups = stats_.counter("fetch_groups");
 
-  // Scoreboard: cycle at which each logical register's latest value is ready.
-  std::array<Cycle, kNumRegs> reg_ready{};
-
-  IssuePool int_units(cfg_.int_alus);
-  IssuePool fp_units(cfg_.fp_alus);
-  IssuePool lsu_units(cfg_.lsu_ports);
-
+  // The persistent pipeline state.  The scoreboard/pools/buffers are used
+  // through references; the pacing scalars are hoisted into locals for the
+  // slice (the heap-held struct would otherwise force reloads around every
+  // opaque call) and written back at the suspension point.  A CancelledError
+  // abandons the run, so the throw paths skip the write-back.
+  std::array<Cycle, kNumRegs>& reg_ready = st.reg_ready;
+  IssuePool& int_units = st.int_units;
+  IssuePool& fp_units = st.fp_units;
+  IssuePool& lsu_units = st.lsu_units;
   // ROB occupancy: retirement cycle of the uop that freed slot (i % size).
-  std::vector<Cycle> rob_free(cfg_.rob_size, 0);
-  std::vector<StoreBufferEntry> store_buffer(cfg_.store_buffer_entries);
+  std::vector<Cycle>& rob_free = st.rob_free;
+  std::vector<StoreBufferEntry>& store_buffer = st.store_buffer;
 
-  Cycle dispatch_cycle = 0;        // current fetch group's cycle
-  unsigned dispatched_in_cycle = 0;
-  Cycle last_retire = 0;
-  unsigned retired_in_cycle = 0;
-  Cycle retire_pace_cycle = 0;
-  std::uint64_t uop_index = 0;
+  Cycle dispatch_cycle = st.dispatch_cycle;  // current fetch group's cycle
+  unsigned dispatched_in_cycle = st.dispatched_in_cycle;
+  Cycle last_retire = st.last_retire;
+  unsigned retired_in_cycle = st.retired_in_cycle;
+  Cycle retire_pace_cycle = st.retire_pace_cycle;
+  std::uint64_t uop_index = st.uop_index;
+  bool exhausted = false;
 
   MicroOp op;
-  while (program.next(op)) {
+  while (true) {
+    if (dispatch_cycle > limit) break;  // suspend between micro-ops
+    if (!st.program->next(op)) {
+      exhausted = true;
+      break;
+    }
     if (op.kind == OpKind::PhaseMark) continue;  // metadata only
 
     // Cooperative cancellation: a masked poll per uop keeps the check off
@@ -209,9 +245,13 @@ RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
               done += cfg_.replay_penalty;
             }
           }
-          if (image_ != nullptr) {
+          // The loaded value only matters when the uop asks for a check
+          // (functional_stores workloads); gating on check_value keeps the
+          // shared image off the hot path, which in turn keeps the parallel
+          // engine's image lock off every plain load.
+          if (image_ != nullptr && op.check_value) {
             const std::uint64_t v = image_->load64(final_addr);
-            if (op.check_value && v != op.value) {
+            if (v != op.value) {
               c_mismatch.inc();
               ++res.value_mismatches;
             }
@@ -321,8 +361,14 @@ RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
     ++res.uops;
   }
 
-  res.cycles = last_retire;
-  return res;
+  st.dispatch_cycle = dispatch_cycle;
+  st.dispatched_in_cycle = dispatched_in_cycle;
+  st.last_retire = last_retire;
+  st.retired_in_cycle = retired_in_cycle;
+  st.retire_pace_cycle = retire_pace_cycle;
+  st.uop_index = uop_index;
+  st.exhausted = exhausted;
+  return exhausted;
 }
 
 }  // namespace hm

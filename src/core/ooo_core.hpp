@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "coherence/directory.hpp"
@@ -95,7 +96,36 @@ class OooCore {
   /// @p cancel (optional) is polled every kCancelCheckStride micro-ops: an
   /// externally cancelled token or an exceeded cycle budget aborts the run
   /// with CancelledError — the cooperative half of the sweep watchdog.
+  /// Implemented as begin_run + step_until(kNoCycle) + finish_run, so the
+  /// sliced and unsliced paths can never drift apart.
   RunResult run(InstrStream& program, const CancelToken* cancel = nullptr);
+
+  // --- resumable stepper (parallel multi-tile engine) ---------------------
+  // A tile thread runs the same model in bounded quanta: begin_run binds the
+  // stream and allocates the pipeline state, step_until advances until the
+  // dispatch front (the model's monotone progress measure) passes the cycle
+  // limit or the stream ends, finish_run yields the aggregate result.  The
+  // uop sequence and every per-uop computation are identical to run() —
+  // slicing only chooses where the loop pauses between micro-ops.
+
+  /// Binds @p program and resets the pipeline state for a new run.  Any
+  /// in-flight stepper state from a previous (e.g. cancelled) run is dropped.
+  void begin_run(InstrStream& program);
+
+  /// Advances until the dispatch front exceeds @p limit (pass kNoCycle for
+  /// "to completion") or the stream is exhausted.  Returns true once the
+  /// stream is exhausted (further calls are no-ops returning true).
+  /// Requires a begin_run; throws CancelledError exactly as run() does.
+  bool step_until(Cycle limit, const CancelToken* cancel = nullptr);
+
+  /// The dispatch front: cycle of the current fetch group.  Monotone over a
+  /// run; the parallel engine's skew measure.  Valid between begin_run and
+  /// finish_run.
+  Cycle front() const;
+
+  /// Completes the run: finalizes and returns the RunResult, releasing the
+  /// stepper state.
+  RunResult finish_run();
 
   /// Issue-slot pool for a class of fully pipelined functional units: up to
   /// `width` operations may start per cycle.  Unlike a greedy busy-until
@@ -141,6 +171,34 @@ class OooCore {
     Cycle drains_at = 0;   ///< after this cycle the entry is not collapsible
   };
 
+  /// Everything run()'s loop used to keep on the stack, so a run can pause
+  /// at a cycle boundary and resume: scoreboard, issue pools, ROB/store-
+  /// buffer occupancy, dispatch/retire pacing, and the accumulating result.
+  struct RunState {
+    explicit RunState(const CoreConfig& cfg)
+        : int_units(cfg.int_alus),
+          fp_units(cfg.fp_alus),
+          lsu_units(cfg.lsu_ports),
+          rob_free(cfg.rob_size, 0),
+          store_buffer(cfg.store_buffer_entries) {}
+
+    InstrStream* program = nullptr;
+    RunResult res;
+    std::array<Cycle, kNumRegs> reg_ready{};
+    IssuePool int_units;
+    IssuePool fp_units;
+    IssuePool lsu_units;
+    std::vector<Cycle> rob_free;
+    std::vector<StoreBufferEntry> store_buffer;
+    Cycle dispatch_cycle = 0;  ///< current fetch group's cycle
+    unsigned dispatched_in_cycle = 0;
+    Cycle last_retire = 0;
+    unsigned retired_in_cycle = 0;
+    Cycle retire_pace_cycle = 0;
+    std::uint64_t uop_index = 0;
+    bool exhausted = false;
+  };
+
   CoreConfig cfg_;
   MemoryHierarchy& hierarchy_;
   LocalMemory* lm_;
@@ -149,6 +207,7 @@ class OooCore {
   ByteStore* image_;
   BranchPredictor bpred_;
   StatGroup stats_;
+  std::unique_ptr<RunState> run_state_;
 };
 
 }  // namespace hm

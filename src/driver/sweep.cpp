@@ -63,6 +63,11 @@ std::uint64_t tile_seed(std::uint64_t seed, unsigned tile) {
 }  // namespace
 
 PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
+  return run_point(p, EngineConfig{}, cancel);
+}
+
+PointResult run_point(const SweepPoint& p, const EngineConfig& engine,
+                      const CancelToken* cancel) {
   // Phase profiling: pure wall-clock observation around work the point does
   // anyway; nothing here feeds back into simulated state.  `sim_begin`
   // marks the setup/simulate boundary; compile() calls accumulate into
@@ -101,6 +106,7 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
     // scale 0.5 == the paper microbenchmark's 100'000 iterations.
     mc.iterations = static_cast<std::uint64_t>(std::llround(200'000.0 * p.scale));
     System sys(std::move(cfg));
+    sys.set_engine(engine);
     Microbenchmark mb(mc);
     prof_sim_begin = ProfClock::now();
     out.report = sys.run(mb, cancel);
@@ -116,6 +122,7 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
     const MachineConfig geometry = MachineConfig::hybrid_coherent();
     if (cores == 1) {
       System sys(std::move(cfg));
+      sys.set_engine(engine);
       const auto cg_begin = ProfClock::now();
       CompiledKernel kernel =
           compile(w.loop, co, geometry.lm.virtual_base, geometry.lm.size, dir_entries);
@@ -133,6 +140,7 @@ PointResult run_point(const SweepPoint& p, const CancelToken* cancel) {
       // its tile-local LM, and the System runs them with an end-of-stream
       // barrier over the shared uncore.
       System sys(std::move(cfg), cores);
+      sys.set_engine(engine);
       std::vector<std::unique_ptr<CompiledKernel>> kernels;
       std::vector<InstrStream*> streams;
       kernels.reserve(cores);
@@ -213,7 +221,7 @@ PointResult run_point_fortified(const SweepPoint& p, const SweepOptions& opt,
     r.attempts = attempt;
     try {
       trigger_fault(FaultSite::SweepWorker, {p.label, p.index, attempt}, &token);
-      r = run_point(p, &token);
+      r = run_point(p, opt.engine, &token);
       r.attempts = attempt;
       // run_point's only non-throwing failure (occupancy-horizon overflow)
       // is an engine-invariant breach: deterministic, never retried.
@@ -304,6 +312,7 @@ struct SweepMetrics {
   obs::Counter& occ_delay =
       reg().counter("hm_occupancy_delay_cycles_total", "");
   obs::Counter& sim_cycles = reg().counter("hm_sim_cycles_total", "");
+  obs::Histogram& tile_skew = reg().histogram("hm_tile_skew_cycles", "", {});
 
  private:
   static obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
@@ -372,8 +381,24 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   out.spec = &spec;
   out.points.resize(points.size());
 
-  SweepJournal journal(opt.journal_dir, spec.name);
-  const MemoCache disk(opt.cache_dir);
+  // Engine configurations that can change results (relaxed sync, or a
+  // finite lockstep quantum) must never feed the caches or the journal:
+  // the canonical point identity elides engine knobs — sound because the
+  // default lockstep engine is byte-identical to serial — so an
+  // approximate result stored under that identity would later satisfy an
+  // exact lookup.  Disable all three for such sweeps.
+  const bool engine_alters = engine_alters_results(opt.engine);
+  if (engine_alters && (!opt.journal_dir.empty() || !opt.cache_dir.empty() ||
+                        opt.session_cache != nullptr))
+    HM_WARN("sweep " << spec.name
+                     << ": engine config alters results (relaxed sync or "
+                        "finite lockstep quantum) — memo cache, session "
+                        "cache and journal disabled for this sweep");
+  const std::string journal_dir = engine_alters ? std::string{} : opt.journal_dir;
+  RunCache* const session_cache = engine_alters ? nullptr : opt.session_cache;
+
+  SweepJournal journal(journal_dir, spec.name);
+  const MemoCache disk(engine_alters ? std::string{} : opt.cache_dir);
   std::vector<char> resolved(points.size(), 0);
 
   // Observability setup.  The sweep sink collects driver-level events; each
@@ -403,9 +428,9 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   // interrupted sweep re-runs only what had not completed.  Matching is by
   // canonical identity; the replayed record adopts the current expansion's
   // experiment/index/label exactly like a cache hit does.
-  if (opt.resume && !opt.journal_dir.empty()) {
+  if (opt.resume && !journal_dir.empty()) {
     std::unordered_map<std::string, PointResult> prior;
-    for (PointResult& rec : SweepJournal::load(opt.journal_dir, spec.name))
+    for (PointResult& rec : SweepJournal::load(journal_dir, spec.name))
       prior[rec.point.canonical()] = std::move(rec);
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto it = prior.find(points[i].canonical());
@@ -419,8 +444,7 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
         sweep_trace->instant(obs::TraceSink::Track::Wall, lane, "journal.replay",
                              sweep_trace->now_us());
       }
-      if (out.points[i].ok && opt.session_cache)
-        opt.session_cache->store(out.points[i]);
+      if (out.points[i].ok && session_cache) session_cache->store(out.points[i]);
     }
   }
 
@@ -429,12 +453,12 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (resolved[i]) continue;
     std::optional<PointResult> hit;
-    if (opt.session_cache) hit = opt.session_cache->lookup(points[i]);
+    if (session_cache) hit = session_cache->lookup(points[i]);
     if (!hit && disk.enabled()) {
       hit = disk.lookup(points[i]);
       // Promote disk hits so later experiments sharing the point skip the
       // file read/parse as well.
-      if (hit && opt.session_cache) opt.session_cache->store(*hit);
+      if (hit && session_cache) session_cache->store(*hit);
     }
     if (hit) {
       out.points[i] = std::move(*hit);
@@ -460,7 +484,11 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   std::atomic<std::size_t> retries{0};
   std::atomic<double> busy_seconds{0.0};
   std::atomic<bool> observer_armed{static_cast<bool>(opt.point_observer)};
-  SweepScheduler scheduler(opt.jobs);
+  // Auto job count accounts for per-point tile threads so jobs x
+  // tile_threads does not oversubscribe the host by default.
+  SweepScheduler scheduler(opt.jobs == 0
+                               ? SweepScheduler::auto_jobs(opt.engine.tile_threads)
+                               : opt.jobs);
   mx.workers.set(static_cast<double>(scheduler.jobs()));
   mx.queue_depth.set(static_cast<double>(todo.size()));
   // Queue depth rides the existing exception-guarded progress callback; the
@@ -509,6 +537,9 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
           mx.ph_serialize.observe(r.profile.serialize_seconds);
         }
         mx.sim_cycles.inc(static_cast<double>(r.report.cycles()));
+        if (opt.engine.tile_threads > 1 &&
+            opt.engine.sync == EngineConfig::Sync::Relaxed)
+          mx.tile_skew.observe(static_cast<double>(r.report.max_tile_skew));
         mx.occ_delay.inc(static_cast<double>(
             r.report.l2_port.queue_cycles + r.report.l3_port.queue_cycles +
             r.report.dram.queue_cycles + r.report.dma_bus.queue_cycles));
@@ -577,7 +608,7 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
     }
     if (out.points[i].ok) {
       if (disk.enabled()) disk.store(out.points[i]);
-      if (opt.session_cache) opt.session_cache->store(out.points[i]);
+      if (session_cache) session_cache->store(out.points[i]);
     }
   }
   for (const PointResult& r : out.points) {

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/occupancy.hpp"
@@ -129,6 +130,28 @@ class MemoryHierarchy {
   /// machine's uncore, or null to own a private single-tile one.
   MemoryHierarchy(HierarchyConfig cfg, Uncore* shared);
 
+  /// Scoped engine-mutex guard for the shared-uncore sections (L2/L3/DRAM
+  /// content and ports, shared prefetchers).  A no-op — one predictable
+  /// branch — unless the uncore's engine locking is on (relaxed parallel
+  /// mode).  The guarded sections are the outermost shared entry points
+  /// (access miss path, wt_store tail, L1-prefetch fill, DMA ops), so the
+  /// guard never nests.
+  class UncoreGuard {
+   public:
+    explicit UncoreGuard(Uncore& u)
+        : mu_(u.engine_locking() ? &u.engine_mutex() : nullptr) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~UncoreGuard() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    UncoreGuard(const UncoreGuard&) = delete;
+    UncoreGuard& operator=(const UncoreGuard&) = delete;
+
+   private:
+    std::mutex* mu_;
+  };
+
   /// Per-access scratch for the hierarchy-level counters: the hot path
   /// accumulates into plain integers and access() commits them to the
   /// StatGroup counters once, instead of chasing Counter pointers at every
@@ -183,6 +206,7 @@ class MemoryHierarchy {
   /// Non-null only for the standalone constructor; uncore_ points at it.
   std::unique_ptr<Uncore> owned_uncore_;
   Uncore& uncore_;
+  unsigned port_id_;  ///< this tile's registration index with the uncore
   SetAssocCache l1d_;
   Mshr mshr_;
   StreamPrefetcher pf_l1_;

@@ -23,9 +23,29 @@ Uncore::Uncore(const HierarchyConfig& cfg)
   dma_invalidate_broadcasts_ = &stats_.counter("dma_invalidate_broadcasts");
 }
 
-void Uncore::register_l1(SetAssocCache* l1) { l1s_.push_back(l1); }
+unsigned Uncore::register_l1(SetAssocCache* l1) {
+  l1s_.push_back(l1);
+  pending_.push_back(std::make_unique<PendingInval>());
+  return static_cast<unsigned>(l1s_.size() - 1);
+}
+
+void Uncore::set_engine_locking(bool on) {
+  engine_locking_ = on;
+  if (!on)
+    for (unsigned p = 0; p < pending_.size(); ++p) drain_pending_invalidations(p);
+}
+
+void Uncore::drain_pending_invalidations(unsigned port) {
+  PendingInval& q = *pending_[port];
+  std::lock_guard<std::mutex> lk(q.mu);
+  for (const Addr line : q.lines) l1s_[port]->invalidate(line);
+  q.lines.clear();
+  q.count.store(0, std::memory_order_relaxed);
+}
 
 Cycle Uncore::dma_get_line(Cycle now, Addr line_addr) {
+  std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
+  if (engine_locking_) lk.lock();
   // The initiating tile already snooped its own L1; the SM is internally
   // coherent, so any resident copy in the shared levels is valid.
   if (l2_.probe(line_addr)) return now + cfg_.l2.latency;
@@ -33,12 +53,31 @@ Cycle Uncore::dma_get_line(Cycle now, Addr line_addr) {
   return mem_.access(now, AccessType::Read);
 }
 
-Cycle Uncore::dma_put_line(Cycle now, Addr line_addr) {
+Cycle Uncore::dma_put_line(Cycle now, Addr line_addr, unsigned initiator_port) {
   // Coherent dma-put: the line is written to main memory and any cached
   // copy is invalidated (dirty or not — the DMA data is the valid version,
   // see §3.4.2).  The invalidation is broadcast to every tile's L1: a chunk
   // written back by tile A's DMAC kills stale copies tile B may hold.
-  for (SetAssocCache* l1 : l1s_) l1->invalidate(line_addr);
+  std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
+  if (engine_locking_ && initiator_port != kNoPort) {
+    // Remote L1s belong to other tile threads: queue their invalidations
+    // (drained at the owner's next access) and touch only the initiator's
+    // L1 and the engine-locked shared levels here.
+    lk.lock();
+    for (unsigned p = 0; p < l1s_.size(); ++p) {
+      if (p == initiator_port) {
+        l1s_[p]->invalidate(line_addr);
+        continue;
+      }
+      PendingInval& q = *pending_[p];
+      std::lock_guard<std::mutex> qlk(q.mu);
+      q.lines.push_back(line_addr);
+      q.count.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    if (engine_locking_) lk.lock();
+    for (SetAssocCache* l1 : l1s_) l1->invalidate(line_addr);
+  }
   if (l1s_.size() > 1) dma_invalidate_broadcasts_->inc(l1s_.size() - 1);
   l2_.invalidate(line_addr);
   l3_.invalidate(line_addr);

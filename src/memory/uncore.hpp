@@ -27,6 +27,9 @@
 // grant equals its ready cycle).
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/occupancy.hpp"
@@ -77,8 +80,10 @@ class Uncore {
   Uncore(Uncore&&) = delete;
   Uncore& operator=(Uncore&&) = delete;
 
-  /// Attach one tile's L1 (invalidation-broadcast target).
-  void register_l1(SetAssocCache* l1);
+  /// Attach one tile's L1 (invalidation-broadcast target).  Returns the
+  /// port id (registration order), the tile's handle into the deferred-
+  /// invalidation queues of the parallel engine.
+  unsigned register_l1(SetAssocCache* l1);
 
   /// Coherent dma-get bus request for one line below the initiating tile's
   /// L1: read from the shared caches if the line is resident, else from
@@ -89,7 +94,12 @@ class Uncore {
   /// invalidate the line in the shared levels and in EVERY tile's L1 —
   /// including tiles other than the initiator, which is what keeps a
   /// dma-put from tile A coherent with a line cached by tile B.
-  Cycle dma_put_line(Cycle now, Addr line_addr);
+  /// @p initiator_port identifies the calling tile (kNoPort = standalone /
+  /// serial call): under engine locking, remote tiles' L1s are private to
+  /// their own threads, so their invalidations are queued and applied by
+  /// the owner at its next access instead of being touched cross-thread.
+  static constexpr unsigned kNoPort = ~0u;
+  Cycle dma_put_line(Cycle now, Addr line_addr, unsigned initiator_port = kNoPort);
 
   /// DMA bus arbitration at command granularity: grant a bus window of
   /// @p len cycles starting at or after @p ready, pushed past any window
@@ -100,7 +110,11 @@ class Uncore {
   /// since each DMAC's engine_free_ keeps its own windows disjoint for all
   /// shipped configs (per_line <= first-line latency — see lm/dmac.hpp),
   /// single-core timing is untouched.
-  Cycle dma_bus_grant(Cycle ready, Cycle len) { return dma_bus_.book_span(ready, len); }
+  Cycle dma_bus_grant(Cycle ready, Cycle len) {
+    std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
+    if (engine_locking_) lk.lock();
+    return dma_bus_.book_span(ready, len);
+  }
 
   /// Drop all shared cache contents, occupancy timelines and bus windows.
   /// Idempotent — every tile's reset may call it.
@@ -134,10 +148,49 @@ class Uncore {
 
   unsigned num_ports() const { return static_cast<unsigned>(l1s_.size()); }
 
+  // --- parallel engine gate ----------------------------------------------
+  // In the relaxed parallel mode, tile threads run concurrently and every
+  // shared-uncore section (L2/L3/DRAM content + ports, prefetchers, DMA
+  // bus, and the occupancy-timeline slab growth underneath them) is
+  // serialized on one engine mutex.  The gate is a plain bool: System
+  // toggles it while single-threaded (before spawning / after joining the
+  // tile threads), so the serial and lockstep engines pay one predictable
+  // branch per shared section and take no lock.  The chunk slab allocator
+  // in common/occupancy.hpp is safe under the parallel engine *because* of
+  // this gate: every book()/book_span() that can grow a timeline happens
+  // inside an engine-locked section.
+
+  /// Enable/disable engine locking.  Must be called with no tile thread
+  /// running.  Disabling drains any still-queued L1 invalidations so the
+  /// post-run cache contents are settled.
+  void set_engine_locking(bool on);
+  bool engine_locking() const { return engine_locking_; }
+  std::mutex& engine_mutex() { return engine_mu_; }
+
+  /// True when other tiles' dma-puts queued invalidations for @p port.
+  /// Single relaxed atomic load — the tile-thread hot-path check.
+  bool has_pending_invalidations(unsigned port) const {
+    return pending_[port]->count.load(std::memory_order_relaxed) != 0;
+  }
+  /// Apply and clear the invalidations queued for @p port.  Called by the
+  /// owning tile's thread.
+  void drain_pending_invalidations(unsigned port);
+
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }
 
  private:
+  /// Deferred cross-tile L1 invalidations (relaxed parallel mode): a
+  /// dma-put initiator queues the line for every other port; owners drain
+  /// at their next hierarchy access.  Timing-only approximation — the
+  /// invalidation lands within one skew bound of where the serial engine
+  /// would apply it; values live in the functional image either way.
+  struct PendingInval {
+    std::atomic<std::uint32_t> count{0};
+    std::mutex mu;
+    std::vector<Addr> lines;
+  };
+
   HierarchyConfig cfg_;
   SetAssocCache l2_;
   SetAssocCache l3_;
@@ -148,6 +201,9 @@ class Uncore {
   SharedResource l3_port_;
   SharedResource dma_bus_;  ///< gap-1 timeline; commands book whole windows
   std::vector<SetAssocCache*> l1s_;  ///< broadcast targets, port order
+  std::vector<std::unique_ptr<PendingInval>> pending_;  ///< parallel to l1s_
+  bool engine_locking_ = false;
+  std::mutex engine_mu_;
   StatGroup stats_;
   Counter* dma_invalidate_broadcasts_;
 };

@@ -18,6 +18,45 @@
 
 namespace hm {
 
+/// Parallel multi-tile engine configuration.  The default (tile_threads=1)
+/// is the serial reference engine: tiles run to completion one after
+/// another in tile order.  With tile_threads > 1 a SPMD run executes on a
+/// per-point tile thread pool in one of two synchronization modes:
+///
+///  * Lockstep — deterministic turn-taking: exactly one tile advances at a
+///    time, in tile order, each turn bounded by `quantum` simulated cycles
+///    (0 = run-to-completion turns).  The (round, tile) schedule is a pure
+///    function of the configuration, so results are byte-identical across
+///    runs and thread counts; with quantum=0 the schedule IS the serial
+///    engine's, making the default lockstep engine byte-identical to
+///    tile_threads=1 at any thread count.  A finite quantum interleaves
+///    shared-uncore bookings at quantum granularity — deterministic, but a
+///    different (more barrier-faithful) contention model than serial.
+///  * Relaxed — true concurrency: tiles free-run on worker threads, shared
+///    uncore sections serialize on one engine mutex, and a skew bound keeps
+///    any tile's dispatch front within `skew_bound` cycles of the slowest
+///    unfinished tile at every scheduling point.  Results are NOT
+///    deterministic (booking interleave follows wall-clock scheduling);
+///    aggregate instruction counts are exact, timing varies within the
+///    skew bound.  The observed maximum grant-time skew is reported in
+///    RunReport::max_tile_skew.
+struct EngineConfig {
+  enum class Sync : std::uint8_t { Lockstep, Relaxed };
+  unsigned tile_threads = 1;  ///< <=1: serial reference engine
+  Sync sync = Sync::Lockstep;
+  Cycle quantum = 0;          ///< lockstep turn length; 0 = whole-run turns
+  Cycle skew_bound = 8192;    ///< relaxed max front skew (cycles, >= 1)
+};
+
+/// True when @p e can produce results that differ from the serial engine
+/// (relaxed interleaving, or lockstep with a finite quantum).  Callers
+/// keying caches/journals on the canonical point identity — which elides
+/// engine knobs — must not store such results.
+inline bool engine_alters_results(const EngineConfig& e) {
+  return e.tile_threads > 1 &&
+         (e.sync == EngineConfig::Sync::Relaxed || e.quantum != 0);
+}
+
 /// Per-tile section of a run: one entry per tile that executed a program.
 /// The activity figures are the tile-private share (core pipeline, L1, LM,
 /// directory, DMAC, initiated bus traffic); shared-uncore activity is
@@ -69,6 +108,13 @@ struct RunReport {
 
   std::vector<TileReport> tiles;  ///< per-tile sections, tile order
 
+  /// Relaxed parallel engine only: maximum observed cycle skew between any
+  /// tile's dispatch front and the slowest unfinished tile, measured at
+  /// every scheduling grant.  Bounded by EngineConfig::skew_bound.  Always
+  /// 0 for the serial and lockstep engines.  In-memory diagnostic — never
+  /// serialized (golden/cache formats are engine-independent).
+  Cycle max_tile_skew = 0;
+
   /// Total occupancy-horizon overflows across the four shared resources —
   /// zero whenever the contention model covered the whole run.
   std::uint64_t contention_overflows() const {
@@ -106,6 +152,13 @@ class System {
   RunReport run(const std::vector<InstrStream*>& programs,
                 const CancelToken* cancel = nullptr);
 
+  /// Select the engine for subsequent run() calls.  Takes effect only on
+  /// multi-program SPMD runs with tile_threads > 1; single-program and
+  /// single-tile runs always use the serial reference engine.  See
+  /// EngineConfig for the determinism contract.
+  void set_engine(const EngineConfig& engine) { engine_ = engine; }
+  const EngineConfig& engine() const { return engine_; }
+
   ByteStore& image() { return image_; }
   void clear_image() { image_.clear(); }
 
@@ -125,11 +178,23 @@ class System {
  private:
   void reset_timing_state();
 
+  /// Tile-execution phase of an SPMD run, parallel engines.  Each fills
+  /// results[i] for every tile with a program; cancellation and tile-thread
+  /// errors propagate as exceptions after all workers joined.
+  void run_tiles_lockstep(const std::vector<InstrStream*>& programs,
+                          std::vector<RunResult>& results,
+                          const CancelToken* cancel, unsigned threads);
+  /// Returns the maximum grant-time cycle skew observed (<= skew_bound).
+  Cycle run_tiles_relaxed(const std::vector<InstrStream*>& programs,
+                          std::vector<RunResult>& results,
+                          const CancelToken* cancel, unsigned threads);
+
   MachineConfig cfg_;
   ByteStore image_;
   Uncore uncore_;
   std::vector<std::unique_ptr<Tile>> tiles_;
   EnergyModel energy_model_;
+  EngineConfig engine_;
 };
 
 }  // namespace hm

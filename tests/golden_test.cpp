@@ -66,14 +66,18 @@ void expect_golden(const std::string& name, const std::string& got, const char* 
 }
 
 /// Render the named experiment at the golden scale (0.05) and assert zero
-/// failures and zero occupancy-horizon overflows along the way.
-std::string rendered_table(const char* name) {
+/// failures and zero occupancy-horizon overflows along the way.  @p engine
+/// selects the tile engine — the default lockstep engine at any thread
+/// count must reproduce the very same golden bytes (the parallel-engine
+/// determinism contract).
+std::string rendered_table(const char* name, const hm::EngineConfig& engine = {}) {
   const ExperimentSpec* spec = find_experiment(name);
   if (spec == nullptr) return {};
 
   SweepOptions opt;
   opt.jobs = 2;  // parallel == serial is separately enforced by driver_test
   opt.scale_override = 0.05;
+  opt.engine = engine;
   const SweepOutcome out = run_sweep(*spec, opt);
   EXPECT_EQ(out.failures, 0u);
 
@@ -100,11 +104,29 @@ INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGolden,
                                            "table3", "ablation_directory",
                                            "ablation_double_store", "ablation_prefetch"));
 
+/// Parallel-engine half of the contract: the default lockstep engine at 4
+/// tile threads reproduces the very same golden bytes.
+class PaperGoldenTileThreads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperGoldenTileThreads, TableIsByteIdenticalWith4TileThreads) {
+  hm::EngineConfig engine;
+  engine.tile_threads = 4;
+  const std::string got = rendered_table(GetParam(), engine);
+  ASSERT_FALSE(got.empty()) << GetParam();
+  expect_golden(GetParam(), got,
+                "table drifted under the lockstep parallel engine");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNinePaperExperiments, PaperGoldenTileThreads,
+                         ::testing::Values("table1", "fig7", "fig8", "fig9", "fig10",
+                                           "table3", "ablation_directory",
+                                           "ablation_double_store", "ablation_prefetch"));
+
 // ---------------------------------------------------------------------------
 
 /// The 2-core capture: one SPMD point per machine kind, every RunReport
 /// field serialized.
-std::string multicore_2core_text() {
+std::string multicore_2core_text(const hm::EngineConfig& engine = {}) {
   std::string text;
   for (const char* machine : {"hybrid_coherent", "cache_based"}) {
     SweepPoint p;
@@ -113,7 +135,7 @@ std::string multicore_2core_text() {
     p.workload = "FT";
     p.scale = 0.05;
     p.knobs["cores"] = "2";
-    const PointResult r = run_point(p);
+    const PointResult r = run_point(p, engine);
     if (!r.ok) return "FAILED: " + r.error;
     text += p.label;
     text += '\n';
@@ -128,6 +150,18 @@ TEST(MulticoreGolden, TwoCoreReportIsByteIdentical) {
   ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
   expect_golden("multicore_2core", got,
                 "2-core SPMD report drifted from the occupancy-engine capture");
+}
+
+TEST(MulticoreGolden, TwoCoreReportIsByteIdenticalWith4TileThreads) {
+  // The multi-tile golden is the one the parallel engine can actually
+  // perturb (single-core points always take the serial path) — pin it
+  // under the default lockstep engine at 4 tile threads too.
+  hm::EngineConfig engine;
+  engine.tile_threads = 4;
+  const std::string got = multicore_2core_text(engine);
+  ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
+  expect_golden("multicore_2core", got,
+                "2-core SPMD report drifted under the lockstep parallel engine");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,234 @@
+// Parallel multi-tile engine: the determinism contract and the threading
+// behavior of System's lockstep/relaxed engines (sim/system.hpp).
+//
+//  * The default lockstep engine (quantum 0) must be BYTE-identical to the
+//    serial reference engine for every workload at any thread count — the
+//    invariant that lets engine knobs stay out of canonical point
+//    identities and memo-cache keys.
+//  * Lockstep with a finite quantum is a different (deterministic)
+//    contention model: identical across repeated runs and thread counts,
+//    but not compared against serial.
+//  * Relaxed mode keeps aggregate instruction counts exact, reports its
+//    maximum grant-time skew, and never grants a slice beyond the bound.
+//  * Cancellation must reach every tile thread promptly — a cancelled run
+//    throws CancelledError after all workers joined, never wedges.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/registry.hpp"
+#include "driver/scheduler.hpp"
+#include "driver/sweep.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace hm::driver;
+
+hm::EngineConfig lockstep(unsigned threads, hm::Cycle quantum = 0) {
+  hm::EngineConfig e;
+  e.tile_threads = threads;
+  e.sync = hm::EngineConfig::Sync::Lockstep;
+  e.quantum = quantum;
+  return e;
+}
+
+hm::EngineConfig relaxed(unsigned threads, hm::Cycle bound = 8192) {
+  hm::EngineConfig e;
+  e.tile_threads = threads;
+  e.sync = hm::EngineConfig::Sync::Relaxed;
+  e.skew_bound = bound;
+  return e;
+}
+
+SweepPoint make_point(const std::string& workload, const std::string& machine,
+                      unsigned cores, double scale) {
+  SweepPoint p;
+  p.label = "parallel/" + workload + "/" + machine;
+  p.machine = machine;
+  p.workload = workload;
+  p.scale = scale;
+  p.knobs["cores"] = std::to_string(cores);
+  return p;
+}
+
+/// Full RunReport field serialization — every counter, latency and
+/// contention figure the goldens pin (max_tile_skew is in-memory only and
+/// deliberately absent, so identical simulations serialize identically
+/// regardless of engine).
+std::string report_text(const PointResult& r) {
+  EXPECT_TRUE(r.ok) << r.point.label << ": " << r.error;
+  std::string text;
+  hm::append_report_fields(text, r.report);
+  return text;
+}
+
+// --- determinism contract --------------------------------------------------
+
+class LockstepIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LockstepIdentity, DefaultLockstepIsByteIdenticalToSerialAt4Tiles) {
+  // 4 tiles, 4 tile threads, default quantum 0: the schedule degenerates
+  // to serial's (whole-run turns in tile order), so every serialized field
+  // must match byte-for-byte.
+  const SweepPoint p = make_point(GetParam(), "hybrid_coherent", 4, 0.02);
+  const std::string serial = report_text(run_point(p));
+  const std::string parallel = report_text(run_point(p, lockstep(4)));
+  EXPECT_EQ(serial, parallel) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelveWorkloads, LockstepIdentity,
+                         ::testing::Values("CG", "EP", "FT", "IS", "MG", "SP",
+                                           "SPMV", "STENCIL", "PCHASE", "HIST",
+                                           "TRIAD", "RADIX"));
+
+TEST(ParallelEngine, LockstepIdentityHoldsOnTheCacheBasedMachine) {
+  // The cache-based machine exercises the write-through store path (every
+  // store books shared L2 slots), the hottest shared-uncore section.
+  const SweepPoint p = make_point("FT", "cache_based", 4, 0.02);
+  EXPECT_EQ(report_text(run_point(p)), report_text(run_point(p, lockstep(4))));
+}
+
+TEST(ParallelEngine, LockstepIdentityIsThreadCountInvariant) {
+  const SweepPoint p = make_point("CG", "hybrid_coherent", 4, 0.02);
+  const std::string serial = report_text(run_point(p));
+  for (unsigned threads : {2u, 3u, 4u, 8u})
+    EXPECT_EQ(serial, report_text(run_point(p, lockstep(threads))))
+        << threads << " threads";
+}
+
+TEST(ParallelEngine, FiniteQuantumIsDeterministicAcrossRunsAndThreadCounts) {
+  // quantum 64 interleaves shared bookings (a different contention model
+  // than serial), but the (round, tile) schedule is still a pure function
+  // of the configuration: repeated runs and different thread counts must
+  // agree byte-for-byte.
+  const SweepPoint p = make_point("FT", "hybrid_coherent", 4, 0.02);
+  const std::string first = report_text(run_point(p, lockstep(4, 64)));
+  EXPECT_EQ(first, report_text(run_point(p, lockstep(4, 64)))) << "repeat";
+  EXPECT_EQ(first, report_text(run_point(p, lockstep(2, 64)))) << "2 threads";
+}
+
+// --- relaxed mode ----------------------------------------------------------
+
+TEST(ParallelEngine, RelaxedKeepsAggregateInstructionCountsExact) {
+  const SweepPoint p = make_point("FT", "hybrid_coherent", 4, 0.05);
+  const PointResult serial = run_point(p);
+  const PointResult par = run_point(p, relaxed(4));
+  ASSERT_TRUE(serial.ok) << serial.error;
+  ASSERT_TRUE(par.ok) << par.error;
+  // Timing interleave varies; the committed instruction stream does not.
+  EXPECT_EQ(serial.report.core.uops, par.report.core.uops);
+  EXPECT_EQ(serial.report.core.loads, par.report.core.loads);
+  EXPECT_EQ(serial.report.core.stores, par.report.core.stores);
+  EXPECT_EQ(serial.report.core.guarded_loads, par.report.core.guarded_loads);
+  EXPECT_EQ(serial.report.core.guarded_stores, par.report.core.guarded_stores);
+  ASSERT_EQ(serial.report.tiles.size(), par.report.tiles.size());
+  for (std::size_t i = 0; i < serial.report.tiles.size(); ++i)
+    EXPECT_EQ(serial.report.tiles[i].uops, par.report.tiles[i].uops) << "tile " << i;
+  // Serial and lockstep never report skew.
+  EXPECT_EQ(serial.report.max_tile_skew, 0u);
+}
+
+TEST(ParallelEngine, RelaxedSkewNeverExceedsTheConfiguredBound) {
+  // Property test over several bounds, tight ones included: the scheduler
+  // measures skew at every grant and must never grant beyond the bound.
+  for (const hm::Cycle bound : {hm::Cycle{256}, hm::Cycle{1024}, hm::Cycle{8192}}) {
+    const SweepPoint p = make_point("CG", "hybrid_coherent", 4, 0.05);
+    const PointResult r = run_point(p, relaxed(4, bound));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.report.max_tile_skew, bound) << "bound " << bound;
+  }
+}
+
+// --- cancellation ----------------------------------------------------------
+
+TEST(ParallelEngine, PreCancelledTokenAbortsBothParallelEngines) {
+  const SweepPoint p = make_point("FT", "hybrid_coherent", 4, 0.05);
+  for (const hm::EngineConfig& e : {lockstep(4, 64), relaxed(4)}) {
+    hm::CancelToken token;
+    token.cancel();
+    EXPECT_THROW(run_point(p, e, &token), hm::CancelledError);
+  }
+}
+
+TEST(ParallelEngine, ExternalCancelReachesAllTileThreadsPromptly) {
+  // Cancel mid-run from another thread; the run must throw CancelledError
+  // after joining every worker (a wedged tile thread would hang the test
+  // harness timeout, and a leaked one would crash on scope exit).
+  const SweepPoint p = make_point("FT", "hybrid_coherent", 8, 0.4);
+  hm::CancelToken token;
+  std::atomic<bool> fired{false};
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel();
+    fired.store(true);
+  });
+  EXPECT_THROW(run_point(p, relaxed(4), &token), hm::CancelledError);
+  killer.join();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(ParallelEngine, CycleBudgetCancelsWithDeterministicReason) {
+  const SweepPoint p = make_point("FT", "hybrid_coherent", 4, 0.1);
+  hm::CancelToken token;
+  token.set_cycle_limit(20'000);
+  try {
+    run_point(p, lockstep(4), &token);
+    FAIL() << "cycle budget did not fire";
+  } catch (const hm::CancelledError& e) {
+    EXPECT_EQ(e.reason(), hm::CancelledError::Reason::CycleLimit);
+  }
+}
+
+// --- sweep integration -----------------------------------------------------
+
+TEST(ParallelEngine, AlteringEngineConfigsAreDetected) {
+  EXPECT_FALSE(hm::engine_alters_results(hm::EngineConfig{}));
+  EXPECT_FALSE(hm::engine_alters_results(lockstep(4)));       // q=0 == serial
+  EXPECT_FALSE(hm::engine_alters_results(lockstep(1, 64)));   // serial engine
+  EXPECT_TRUE(hm::engine_alters_results(lockstep(4, 64)));
+  EXPECT_TRUE(hm::engine_alters_results(relaxed(2)));
+  EXPECT_FALSE(hm::engine_alters_results(relaxed(1)));        // serial engine
+}
+
+TEST(ParallelEngine, AlteringEngineKeepsResultsOutOfTheSessionCache) {
+  // Relaxed results must never be stored under the (engine-independent)
+  // canonical identity: a later exact sweep would consume them as truth.
+  ExperimentSpec spec;
+  spec.name = "parallel_cache_gate_test";
+  spec.title = "parallel cache gate";
+  spec.scale = 0.02;
+  Grid g;
+  g.base = {{"machine", "hybrid_coherent"}, {"workload", "FT"}, {"cores", "4"}};
+  spec.grids.push_back(g);
+
+  RunCache session;
+  SweepOptions opt;
+  opt.jobs = 1;
+  opt.session_cache = &session;
+  opt.engine = relaxed(4);
+  const SweepOutcome out = run_sweep(spec, opt);
+  ASSERT_EQ(out.failures, 0u);
+  const std::vector<SweepPoint> pts = expand(spec);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_FALSE(session.lookup(pts.front()).has_value())
+      << "relaxed result leaked into the session cache";
+
+  // The non-altering default engine still populates it.
+  opt.engine = lockstep(4);
+  run_sweep(spec, opt);
+  EXPECT_TRUE(session.lookup(pts.front()).has_value());
+}
+
+TEST(ParallelEngine, AutoJobsDividesByTileThreads) {
+  const unsigned hw = SweepScheduler::auto_jobs();
+  EXPECT_EQ(SweepScheduler::auto_jobs(1), hw);
+  EXPECT_EQ(SweepScheduler::auto_jobs(4), std::max(1u, hw / 4));
+  EXPECT_GE(SweepScheduler::auto_jobs(1'000'000), 1u);
+}
+
+}  // namespace

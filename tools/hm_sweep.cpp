@@ -8,7 +8,17 @@
 //                                         experiment inventory for scripting)
 //   hm_sweep run [flags]                  run experiments (default: all)
 //     --filter SUBSTR     only experiments whose name contains SUBSTR
-//     --jobs N|auto       worker threads (default auto = all cores)
+//     --jobs N|auto       worker threads (default auto = cores/tile-threads)
+//   Parallel multi-tile engine (see README "Parallel engine"):
+//     --tile-threads N    engine threads per point (default 1 = serial)
+//     --sync MODE         lockstep|relaxed (default lockstep): lockstep is
+//                         deterministic (and, at the default --quantum 0,
+//                         byte-identical to serial); relaxed free-runs
+//                         tiles within --skew-bound and disables caches and
+//                         the journal (results vary within the bound)
+//     --quantum N         lockstep turn length in cycles (default 0 =
+//                         whole-run turns; nonzero also disables caches)
+//     --skew-bound N      relaxed max cycle skew between tiles (default 8192)
 //     --format table|json|csv             stdout format (default table)
 //     --out DIR           also write DIR/<name>.json and DIR/<name>.csv
 //                         (missing parent directories are created)
@@ -90,6 +100,10 @@ struct CliOptions {
   std::string trace_dir;
   std::string metrics_out;
   bool live_progress = false;
+  unsigned tile_threads = 1;
+  std::string sync = "lockstep";
+  unsigned quantum = 0;
+  unsigned skew_bound = 8192;
 };
 
 int usage(const char* argv0, int code) {
@@ -100,7 +114,8 @@ int usage(const char* argv0, int code) {
                "       [--journal-dir DIR] [--no-journal] [--resume]\n"
                "       [--retries N] [--deadline SECS] [--max-point-cycles N]\n"
                "       [--faults SPEC] [--trace-dir DIR] [--metrics-out FILE]\n"
-               "       [--progress]\n",
+               "       [--progress] [--tile-threads N] [--sync lockstep|relaxed]\n"
+               "       [--quantum N] [--skew-bound N]\n",
                argv0);
   return code;
 }
@@ -256,6 +271,35 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       opt.metrics_out = v;
     } else if (arg == "--progress") {
       opt.live_progress = true;
+    } else if (arg == "--tile-threads") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_unsigned(v, opt.tile_threads)) {
+        std::fprintf(stderr, "--tile-threads expects a positive integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--sync") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.sync = v;
+      if (opt.sync != "lockstep" && opt.sync != "relaxed") {
+        std::fprintf(stderr, "--sync expects lockstep or relaxed, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--quantum") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_unsigned(v, opt.quantum)) {
+        std::fprintf(stderr, "--quantum expects a non-negative integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--skew-bound") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_unsigned(v, opt.skew_bound)) {
+        std::fprintf(stderr, "--skew-bound expects a positive integer, got: %s\n", v);
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
       std::exit(0);
@@ -431,7 +475,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  const unsigned jobs = opt.jobs == 0 ? SweepScheduler::auto_jobs() : opt.jobs;
+  // Engine configuration for every point; auto --jobs divides by the tile
+  // threads so jobs x tile_threads fills (not oversubscribes) the host.
+  hm::EngineConfig engine;
+  engine.tile_threads = opt.tile_threads;
+  engine.sync = opt.sync == "relaxed" ? hm::EngineConfig::Sync::Relaxed
+                                      : hm::EngineConfig::Sync::Lockstep;
+  engine.quantum = opt.quantum;
+  engine.skew_bound = opt.skew_bound;
+  const unsigned jobs =
+      opt.jobs == 0 ? SweepScheduler::auto_jobs(opt.tile_threads) : opt.jobs;
+  if (opt.jobs != 0 && jobs * opt.tile_threads > SweepScheduler::auto_jobs())
+    std::fprintf(stderr,
+                 "warning: --jobs %u x --tile-threads %u = %u threads "
+                 "oversubscribes %u hardware threads\n",
+                 jobs, opt.tile_threads, jobs * opt.tile_threads,
+                 SweepScheduler::auto_jobs());
+  if (hm::engine_alters_results(engine) && !opt.quiet)
+    std::fprintf(stderr,
+                 "note: engine config alters results (--sync relaxed or "
+                 "--quantum > 0): memo cache, session cache and journal are "
+                 "disabled for these sweeps\n");
   const bool tty = !opt.quiet && progress_to_tty();
   RunCache session;
   std::size_t total_failures = 0;
@@ -453,6 +517,7 @@ int main(int argc, char** argv) {
       sweep_opt.journal_dir = opt.journal_dir;
       sweep_opt.resume = opt.resume;
       sweep_opt.trace_dir = opt.trace_dir;
+      sweep_opt.engine = engine;
 
       // Live progress: done/total from the scheduler callback (exception-
       // guarded, serialized, monotonic), ok/quarantined/retried from the
