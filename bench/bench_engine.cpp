@@ -13,6 +13,11 @@
 //  * BM_SystemRun — a whole System::run of a NAS-like kernel per machine
 //    kind, through the sweep driver's run_point (the same path hm_sweep
 //    jobs take).  Reports simulated cycles/second.
+//  * BM_FunctionalReplay / BM_SystemRunSampled — the sampled engine (PR 9):
+//    the functional fast-forward loop in isolation, and the same CG point
+//    as BM_SystemRun through the interval-sampling engine.  The
+//    BM_SystemRunSampled : BM_SystemRun throughput ratio is the sampled
+//    point speedup perf_gate.py --sampled-speedup enforces.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -21,10 +26,13 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "compiler/codegen.hpp"
+#include "core/replay.hpp"
 #include "driver/registry.hpp"
 #include "driver/sweep.hpp"
 #include "memory/hierarchy.hpp"
 #include "obs/trace.hpp"
+#include "sim/system.hpp"
 
 namespace {
 
@@ -158,6 +166,69 @@ void BM_SystemRunParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_SystemRunParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Functional fast-forward in isolation: replay_functional's descriptor loop
+// against the real (warming) cache/directory/LM/prefetcher state, with no
+// sampling controller or detailed pipeline around it.  This is the per-uop
+// cost CEILING of the sampled engine's fast path — the state updates state
+// equivalence demands are all here, which is why the sampled engine's
+// end-to-end speedup is bounded well below the uop-skip ratio.
+void BM_FunctionalReplay(benchmark::State& state) {
+  const Workload w = driver::make_workload("CG", {.factor = 0.2});
+  const MachineConfig geometry = MachineConfig::hybrid_coherent();
+  System sys(driver::make_machine(driver::machine_name(MachineKind::HybridCoherent)));
+  CodegenOptions co;
+  co.global_seed = 42;
+  CompiledKernel kernel = compile(w.loop, co, geometry.lm.virtual_base,
+                                  geometry.lm.size, /*dir_entries=*/32);
+  const std::shared_ptr<const ReplayBatch> batch = kernel.replay_batch();
+  OooCore& core = sys.core();
+  core.begin_run(kernel);
+  constexpr std::uint64_t kChunk = 256;  // iterations per replay call
+  std::uint64_t uops = 0;
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kChunk, batch->iterations - pos);
+    core.replay_functional(*batch, pos, n, /*cpi=*/1.0);
+    uops += batch->uops_in_range(pos, n);
+    pos += n;
+    if (pos >= batch->iterations) pos = 0;
+  }
+  core.finish_run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(uops));
+  state.counters["replayed_uops_per_sec"] =
+      benchmark::Counter(static_cast<double>(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalReplay)->Unit(benchmark::kMillisecond);
+
+// The sampled-vs-detailed pair perf_gate.py --sampled-speedup scores: the
+// SAME hybrid-coherent CG point as BM_SystemRun, run through the interval-
+// sampling engine (default warmup/detail/ff budgets).  Both report simulated
+// cycles/second and the sampled estimate targets the same total, so the
+// items_per_second ratio is the point-throughput speedup.
+void BM_SystemRunSampled(benchmark::State& state) {
+  const auto kind = static_cast<MachineKind>(state.range(0));
+  driver::SweepPoint point;
+  point.label = "bench_engine/system_run_sampled";
+  point.machine = driver::machine_name(kind);
+  point.workload = "CG";
+  point.scale = 0.2;
+  EngineConfig engine;
+  engine.sampling.mode = SamplingConfig::Mode::Interval;
+  std::uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    const driver::PointResult res = driver::run_point(point, engine);
+    sim_cycles += res.report.cycles();
+    benchmark::DoNotOptimize(res.report.sample_error);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim_cycles));
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemRunSampled)
+    ->Arg(static_cast<int>(MachineKind::HybridCoherent))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

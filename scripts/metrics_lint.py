@@ -8,8 +8,9 @@ Every metric family emitted by hm_sweep --metrics-out must be:
   * "hm_"-prefixed (one namespace for every exporter this repo grows);
   * lowercase snake_case ([a-z0-9_], no double underscores);
   * suffixed with a unit or kind: _total, _seconds, _cycles, _bytes,
-    _ratio, _count, _depth, _jobs, _workers or _info (histogram expansions
-    _bucket/_sum/_count are linted against their base family name).
+    _ratio, _count, _depth, _jobs, _workers, _info, _fraction or _error
+    (histogram expansions _bucket/_sum/_count are linted against their
+    base family name).
 
 This is the same rule MetricsRegistry enforces at registration (a C++
 violation throws before any metric exists), so the lint's real job is
@@ -35,6 +36,8 @@ SUFFIXES = (
     "_jobs",
     "_workers",
     "_info",
+    "_fraction",
+    "_error",
 )
 
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")

@@ -50,7 +50,16 @@ Hosts with fewer than 2*MIN cores cannot physically exhibit the required
 speedup, so the check SKIPS (with a loud note) when the benchmark context
 reports num_cpus below that — it enforces on multi-core CI runners and
 stays quiet on the 1-vCPU baseline-measurement host.  Like the regression
-gate, a failing first pass is re-measured once before failing CI.
+gate, a failing first pass is re-measured once before failing CI.  A
+confirmed failure prints the raw per-rep samples behind every pass so the
+CI log shows whether the medians hid a wild spread (host noise) or a
+consistent miss.
+
+Sampled-speedup check: --sampled-speedup MIN requires the sampled engine's
+BM_SystemRunSampled row to be at least MIN x the matching BM_SystemRun row
+(the detailed engine on the same point) in the same fresh pass.  Both
+sides are single-threaded, so there is no cpu-count skip; the same one
+re-measure courtesy and per-rep failure dump apply.
 
 Exit codes: 0 gate passed, 1 regression detected, 2 usage/environment
 error (missing files, benchmark crash, malformed JSON).
@@ -109,25 +118,42 @@ def check_obs_disabled(doc: dict, source: str) -> None:
 
 
 PARALLEL_BENCH = "BM_SystemRunParallel"
+SERIAL_BENCH = "BM_SystemRun"
+SAMPLED_BENCH = "BM_SystemRunSampled"
+
+
+def find_row(medians: dict, prefix: str) -> "float | None":
+    """Value of the row named exactly `prefix` or starting with `prefix/`
+    (benchmarks with UseRealTime suffix names with /real_time)."""
+    for name, ips in medians.items():
+        if name == prefix or name.startswith(prefix + "/"):
+            return ips
+    return None
 
 
 def parallel_speedup(medians: dict) -> "float | None":
     """Throughput ratio of the 8-tile-thread row over the 1-thread (serial
-    engine) row, or None if either is missing.  Matched by prefix: the
-    benchmark runs with UseRealTime, which suffixes names with
-    /real_time."""
-
-    def find(arg: int) -> "float | None":
-        prefix = f"{PARALLEL_BENCH}/{arg}"
-        for name, ips in medians.items():
-            if name == prefix or name.startswith(prefix + "/"):
-                return ips
-        return None
-
-    serial, parallel = find(1), find(8)
+    engine) row, or None if either is missing."""
+    serial = find_row(medians, f"{PARALLEL_BENCH}/1")
+    parallel = find_row(medians, f"{PARALLEL_BENCH}/8")
     if serial is None or parallel is None:
         return None
     return parallel / serial
+
+
+def sampled_speedup(medians: dict) -> "float | None":
+    """Throughput ratio of the sampled-engine row over the detailed row of
+    the SAME point (BM_SystemRunSampled/<arg> vs BM_SystemRun/<arg>), or
+    None when the pair is missing.  Both report simulated cycles/second for
+    the same target total, so the ratio is the point-throughput speedup."""
+    for name, ips in medians.items():
+        if not name.startswith(SAMPLED_BENCH + "/"):
+            continue
+        arg = name[len(SAMPLED_BENCH) + 1 :].split("/")[0]
+        detailed = find_row(medians, f"{SERIAL_BENCH}/{arg}")
+        if detailed is not None and detailed > 0:
+            return ips / detailed
+    return None
 
 
 def run_bench(bench: str, min_time: float, rep: int) -> dict:
@@ -180,6 +206,11 @@ def main() -> int:
                     help="require BM_SystemRunParallel/8 to be at least MIN x "
                          "the /1 row in the fresh measurement; skipped when "
                          "the host has fewer than 2*MIN cpus")
+    ap.add_argument("--sampled-speedup", type=float, metavar="MIN",
+                    help="require BM_SystemRunSampled to be at least MIN x "
+                         "the matching BM_SystemRun row in the fresh "
+                         "measurement (host-relative, single-threaded: no "
+                         "cpu-count skip)")
     args = ap.parse_args()
 
     if args.reps < 1:
@@ -192,9 +223,13 @@ def main() -> int:
         fail(f"{args.baseline}: no benchmarks with items_per_second")
 
     host_cpus = [None]  # num_cpus from the fresh measurement's context
+    rep_history = []  # list of per-pass rep lists (name -> ips dicts)
 
     def measure() -> dict:
-        """Median-of-reps throughput for every benchmark (one full pass)."""
+        """Median-of-reps throughput for every benchmark (one full pass).
+        The raw per-rep samples are retained in rep_history so a failing
+        speedup check can print them — the spread distinguishes a noisy
+        host from a real miss."""
         reps = []
         for r in range(args.reps):
             doc = run_bench(args.bench, args.min_time, r + 1)
@@ -202,12 +237,24 @@ def main() -> int:
                 check_obs_disabled(doc, f"{args.bench} rep {r + 1}")
             host_cpus[0] = doc.get("context", {}).get("num_cpus")
             reps.append(throughputs(doc))
+        rep_history.append(reps)
         medians = {}
         for name in reps[0]:
             samples = [r[name] for r in reps if name in r]
             if samples:
                 medians[name] = statistics.median(samples)
         return medians
+
+    def print_rep_samples(bench_prefix: str) -> None:
+        """Raw per-rep throughputs of every row under bench_prefix, every
+        pass measured so far."""
+        for pass_no, reps in enumerate(rep_history, start=1):
+            names = sorted({n for r in reps for n in r if n.startswith(bench_prefix)})
+            for name in names:
+                samples = " ".join(
+                    f"{r[name]:.3e}" if name in r else "-" for r in reps
+                )
+                print(f"    pass {pass_no} {name}: {samples}")
 
     if args.fresh:
         fresh_doc = load_json(args.fresh)
@@ -304,6 +351,44 @@ def main() -> int:
                 sp = sp2 if sp2 is not None else sp
         else:
             speedup_failed = True
+        if speedup_failed:
+            print("perf_gate: per-rep samples behind the failing "
+                  "parallel-speedup check:")
+            print_rep_samples(PARALLEL_BENCH)
+
+    # --sampled-speedup: the sampled engine's point-throughput gain over the
+    # detailed engine on the same point.  Single-threaded on both sides, so
+    # unlike --parallel-speedup there is no cpu-count skip.
+    sampled_failed = False
+    if args.sampled_speedup is not None:
+        need_s = args.sampled_speedup
+        if need_s <= 1.0:
+            fail("--sampled-speedup must be > 1")
+        ssp = sampled_speedup(fresh)
+        if ssp is None:
+            fail(f"--sampled-speedup: {SAMPLED_BENCH} and the matching "
+                 f"{SERIAL_BENCH} row are not both present in the fresh "
+                 "measurement (rebuild bench_engine)")
+        if ssp >= need_s:
+            print(f"perf_gate: sampled speedup OK — {ssp:.2f}x over the "
+                  f"detailed engine (>= {need_s:.1f}x required)")
+        elif not args.fresh:
+            print(f"perf_gate: sampled speedup {ssp:.2f}x < {need_s:.1f}x — "
+                  "re-measuring once to rule out host noise")
+            ssp2 = sampled_speedup(measure())
+            if ssp2 is not None and ssp2 >= need_s:
+                print(f"perf_gate: sampled speedup OK on second pass — "
+                      f"{ssp2:.2f}x (first pass was host noise)")
+            else:
+                sampled_failed = True
+                ssp = ssp2 if ssp2 is not None else ssp
+        else:
+            sampled_failed = True
+        if sampled_failed:
+            print("perf_gate: per-rep samples behind the failing "
+                  "sampled-speedup check:")
+            print_rep_samples(SAMPLED_BENCH)
+            print_rep_samples(SERIAL_BENCH + "/")
 
     if regressions:
         worst = min(regressions, key=lambda nr: nr[1])
@@ -315,6 +400,11 @@ def main() -> int:
     if speedup_failed:
         print(f"perf_gate: FAIL — parallel engine speedup {sp:.2f}x at 8 tile "
               f"threads is below the required {args.parallel_speedup:.1f}x",
+              file=sys.stderr)
+        return 1
+    if sampled_failed:
+        print(f"perf_gate: FAIL — sampled engine speedup {ssp:.2f}x is below "
+              f"the required {args.sampled_speedup:.1f}x",
               file=sys.stderr)
         return 1
     print("perf_gate: OK")

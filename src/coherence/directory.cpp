@@ -99,4 +99,11 @@ bool CoherenceDirectory::is_mapped(Addr sm_base) const {
   return false;
 }
 
+std::vector<std::pair<Addr, Addr>> CoherenceDirectory::dump_mappings() const {
+  std::vector<std::pair<Addr, Addr>> out;
+  for (const Entry& e : entries_)
+    if (e.valid) out.emplace_back(e.sm_tag, e.lm_base);
+  return out;
+}
+
 }  // namespace hm

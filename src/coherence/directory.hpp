@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -83,6 +84,12 @@ class CoherenceDirectory {
   Bytes buffer_size() const { return buffer_size_; }
   unsigned num_entries() const { return cfg_.entries; }
   const AddressMasks& masks() const { return masks_; }
+
+  /// Valid mappings as (sm_tag, lm_base) pairs in entry order — the
+  /// clock-free directory state (presence cycles live in the run's time
+  /// domain and differ between detailed and sampled runs by construction).
+  /// Equivalence-test helper.
+  std::vector<std::pair<Addr, Addr>> dump_mappings() const;
 
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }

@@ -83,6 +83,24 @@ class ByteStore {
   void clear() { pages_.clear(); }
   std::size_t touched_pages() const { return pages_.size(); }
 
+  /// Byte-for-byte logical equality with @p other: absent pages read as
+  /// zero, so a written-then-zeroed page equals a never-touched one.
+  /// Equivalence-test helper (sampled vs detailed memory images).
+  bool same_contents(const ByteStore& other) const {
+    static const Page kZero{};
+    for (const auto& [idx, page] : pages_) {
+      const auto it = other.pages_.find(idx);
+      const Page& theirs = it == other.pages_.end() ? kZero : it->second;
+      if (std::memcmp(page.data(), theirs.data(), kPageSize) != 0) return false;
+    }
+    for (const auto& [idx, page] : other.pages_) {
+      if (pages_.find(idx) == pages_.end() &&
+          std::memcmp(page.data(), kZero.data(), kPageSize) != 0)
+        return false;
+    }
+    return true;
+  }
+
  private:
   using Page = std::array<std::byte, kPageSize>;
 

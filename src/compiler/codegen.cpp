@@ -1,8 +1,10 @@
 #include "compiler/codegen.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "compiler/replay.hpp"
 
 namespace hm {
 
@@ -39,6 +41,8 @@ CompiledKernel::CompiledKernel(LoopNest loop, Classification cls, TilePlan plan,
   pc += 4 * (loop_.int_ops_per_iter + loop_.fp_ops_per_iter);
   branch_pc_ = next_pc();
   data_branch_pc_ = next_pc();
+
+  mem_slot_count_ = loop_.refs.size();  // one resolved address per ref
 
   reset();
 }
@@ -194,10 +198,51 @@ void CompiledKernel::emit_synch() {
   queue_.push_back(op);
 }
 
+void CompiledKernel::resolve_work_iteration(std::uint64_t g, Addr* addrs,
+                                            std::uint8_t& db) {
+  if (bound_ != nullptr) {
+    // Batch-bound (sampled) mode: the draws were made once when the batch
+    // was compiled; read them back without touching the RNGs, which is
+    // what makes whole iterations skippable.
+    const Addr* src = bound_->iter_addrs(g);
+    std::copy(src, src + bound_->num_slots(), addrs);
+    db = bound_->db_code[g];
+    return;
+  }
+  // Strided refs address by induction variable (an LM buffer when mapped,
+  // the SM when demoted); the rest draw data-dependent SM addresses.  The
+  // draw order — loads in reference order, then stores in reference order,
+  // then the branch draw — is the emission order and must never change:
+  // the address streams are pinned by the goldens across all variants.
+  std::size_t s = 0;
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    const MemRef& r = loop_.refs[i];
+    if (r.is_write) continue;
+    addrs[s++] = r.pattern == PatternKind::Strided
+                     ? regular_address(i, g)
+                     : irregular_address(i, g, ref_rng_[i]);
+  }
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    const MemRef& r = loop_.refs[i];
+    if (!r.is_write) continue;
+    addrs[s++] = r.pattern == PatternKind::Strided
+                     ? regular_address(i, g)
+                     : irregular_address(i, g, ref_rng_[i]);
+  }
+  db = 0;
+  if (loop_.data_branch_fraction > 0.0 && branch_rng_.chance(loop_.data_branch_fraction))
+    db = branch_rng_.chance(0.5) ? 2 : 1;
+}
+
 void CompiledKernel::emit_work_iteration(std::uint64_t g) {
+  addr_scratch_.resize(mem_slot_count_);
+  std::uint8_t db = 0;
+  resolve_work_iteration(g, addr_scratch_.data(), db);
+
   const std::uint8_t base = window_base(g);
   unsigned load_slot = 0;
   std::uint8_t last_loaded = 0;
+  std::size_t slot = 0;
 
   // Loads, in reference order.
   for (unsigned i = 0; i < loop_.refs.size(); ++i) {
@@ -207,13 +252,9 @@ void CompiledKernel::emit_work_iteration(std::uint64_t g) {
     const std::uint8_t dst = static_cast<std::uint8_t>(base + (load_slot++ % kLoadRegs));
     last_loaded = dst;
 
-    // Strided refs address by induction variable (an LM buffer when mapped,
-    // the SM when demoted); the rest draw data-dependent SM addresses.  Any
-    // potentially incoherent reference — indirect, chased, or a demoted
+    // Any potentially incoherent reference — indirect, chased, or a demoted
     // strided ref that may alias a live LM chunk — is guarded.
-    const Addr addr = r.pattern == PatternKind::Strided
-                          ? regular_address(i, g)
-                          : irregular_address(i, g, ref_rng_[i]);
+    const Addr addr = addr_scratch_[slot++];
     OpKind kind = OpKind::Load;
     if (cls == RefClass::PotentiallyIncoherent && tiled_ &&
         opt_.variant == CodegenVariant::HybridProtocol && !opt_.drop_guards) {
@@ -248,9 +289,7 @@ void CompiledKernel::emit_work_iteration(std::uint64_t g) {
     if (!r.is_write) continue;
     const ClassifiedRef& cr = cls_.refs[i];
 
-    const Addr addr = r.pattern == PatternKind::Strided
-                          ? regular_address(i, g)
-                          : irregular_address(i, g, ref_rng_[i]);
+    const Addr addr = addr_scratch_[slot++];
     OpKind kind = OpKind::Store;
     bool double_store = false;
     if (cr.cls == RefClass::PotentiallyIncoherent && tiled_ &&
@@ -281,15 +320,15 @@ void CompiledKernel::emit_work_iteration(std::uint64_t g) {
   queue_.push_back(br);
 
   // Optional data-dependent branch (hard to predict by construction).
-  if (loop_.data_branch_fraction > 0.0 && branch_rng_.chance(loop_.data_branch_fraction)) {
-    MicroOp db;
-    db.kind = OpKind::Branch;
-    db.phase = ExecPhase::Work;
-    db.pc = data_branch_pc_;
-    db.taken = branch_rng_.chance(0.5);
-    db.target = opt_.code_base + 64;
-    db.src1 = computed;
-    queue_.push_back(db);
+  if (db != 0) {
+    MicroOp op;
+    op.kind = OpKind::Branch;
+    op.phase = ExecPhase::Work;
+    op.pc = data_branch_pc_;
+    op.taken = db == 2;
+    op.target = opt_.code_base + 64;
+    op.src1 = computed;
+    queue_.push_back(op);
   }
 }
 
@@ -363,6 +402,83 @@ bool CompiledKernel::next(MicroOp& op) {
   }
   op = queue_[queue_pos_++];
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayableStream: the sampled engine's view of the kernel.
+
+std::vector<ReplaySlot> CompiledKernel::replay_slots() const {
+  // Mirrors emit_work_iteration's static decisions exactly: loads in ref
+  // order, then stores in ref order, guard and double-store flags resolved
+  // from the classification once.
+  std::vector<ReplaySlot> out;
+  const bool guard_on = tiled_ && opt_.variant == CodegenVariant::HybridProtocol &&
+                        !opt_.drop_guards;
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    if (loop_.refs[i].is_write) continue;
+    ReplaySlot s;
+    s.kind = guard_on && cls_.refs[i].cls == RefClass::PotentiallyIncoherent
+                 ? OpKind::GuardedLoad
+                 : OpKind::Load;
+    s.pc = load_pc_[i];
+    s.ref = static_cast<std::uint16_t>(i);
+    out.push_back(s);
+  }
+  for (unsigned i = 0; i < loop_.refs.size(); ++i) {
+    if (!loop_.refs[i].is_write) continue;
+    const ClassifiedRef& cr = cls_.refs[i];
+    ReplaySlot s;
+    if (guard_on && cr.cls == RefClass::PotentiallyIncoherent) {
+      s.kind = OpKind::GuardedStore;
+      s.double_store = cr.needs_double_store && !opt_.disable_readonly_opt &&
+                       !opt_.suppress_double_store;
+    } else {
+      s.kind = OpKind::Store;
+    }
+    s.pc = store_pc_[i];
+    s.extra_pc = extra_store_pc_[i];
+    s.ref = static_cast<std::uint16_t>(i);
+    s.has_value = opt_.functional_stores;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::uint64_t CompiledKernel::tile_end_of(std::uint64_t g) const {
+  return tiled_ ? std::min((g / plan_.iters_per_tile + 1) * plan_.iters_per_tile,
+                           loop_.iterations)
+                : loop_.iterations;
+}
+
+std::uint64_t CompiledKernel::work_cursor() const {
+  if (queue_pos_ < queue_.size()) return kNoIteration;  // mid-iteration
+  if (state_ != State::Work || iter_ >= loop_.iterations) return kNoIteration;
+  return iter_;
+}
+
+std::uint64_t CompiledKernel::skip_work_iterations(std::uint64_t n) {
+  if (bound_ == nullptr || n == 0 || work_cursor() == kNoIteration) return 0;
+  // Advance the cursor exactly as refill() would have after emitting these
+  // iterations: stop at the tile boundary (the control/synch phases always
+  // run detailed) and replicate the tile-advance transition.
+  const std::uint64_t k = std::min(n, tile_end_of(iter_) - iter_);
+  iter_ += k;
+  if (tiled_ && iter_ < loop_.iterations && iter_ % plan_.iters_per_tile == 0) {
+    ++tile_;
+    state_ = State::Control;
+  }
+  return k;
+}
+
+void CompiledKernel::bind_replay(std::shared_ptr<const ReplayBatch> batch) {
+  if (batch != nullptr &&
+      (batch->num_slots() != mem_slot_count_ || batch->iterations != loop_.iterations))
+    throw std::invalid_argument("replay batch shape does not match kernel");
+  bound_ = std::move(batch);
+}
+
+std::shared_ptr<const ReplayBatch> CompiledKernel::replay_batch() {
+  return cached_replay_batch(*this);
 }
 
 CompiledKernel compile(const LoopNest& loop, const CodegenOptions& opt,

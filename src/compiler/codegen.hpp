@@ -35,6 +35,7 @@
 #include "compiler/classify.hpp"
 #include "compiler/transform.hpp"
 #include "core/isa.hpp"
+#include "core/replay.hpp"
 
 namespace hm {
 
@@ -65,12 +66,27 @@ struct CodegenOptions {
   bool suppress_double_store = false;
 };
 
-class CompiledKernel final : public InstrStream {
+class CompiledKernel final : public ReplayableStream {
  public:
   CompiledKernel(LoopNest loop, Classification cls, TilePlan plan, CodegenOptions opt);
 
   bool next(MicroOp& op) override;
   void reset() override;
+
+  // ReplayableStream: batch-compiled work phase for sampled simulation.
+  // replay_batch() resolves every work iteration once (through the shared
+  // process-wide descriptor cache in compiler/replay.cpp); bind_replay()
+  // switches work-phase emission to the pre-resolved addresses so
+  // skip_work_iterations() can fast-forward without replaying RNG draws.
+  std::shared_ptr<const ReplayBatch> replay_batch() override;
+  void bind_replay(std::shared_ptr<const ReplayBatch> batch) override;
+  std::uint64_t work_cursor() const override;
+  std::uint64_t skip_work_iterations(std::uint64_t n) override;
+
+  /// Cache key of this kernel's descriptor batch: a digest of the loop,
+  /// classification-relevant options, plan geometry, seed and engine
+  /// version (see compiler/replay.cpp).
+  std::uint64_t replay_key() const;
 
   const LoopNest& loop() const { return loop_; }
   const Classification& classification() const { return cls_; }
@@ -82,6 +98,8 @@ class CompiledKernel final : public InstrStream {
   static std::uint64_t store_value(unsigned ref, std::uint64_t iter);
 
  private:
+  friend ReplayBatch build_replay_batch(const CompiledKernel& kernel);
+
   enum class State : std::uint8_t { Init, Control, Synch, Work, Epilogue, EpilogueSynch, Done };
 
   void refill();
@@ -91,6 +109,21 @@ class CompiledKernel final : public InstrStream {
   void emit_work_iteration(std::uint64_t global_iter);
   void emit_epilogue();
   void emit_epilogue_synch();
+
+  /// Resolve the data-dependent parts of work iteration @p g, consuming the
+  /// per-reference and branch RNG draws exactly as unbatched emission
+  /// would: one address per memory slot (loads in ref order, then stores in
+  /// ref order) into @p addrs, and the data-branch draw into @p db (0
+  /// absent / 1 not taken / 2 taken).  Both emission and the descriptor
+  /// compiler funnel through this so the streams cannot drift.
+  void resolve_work_iteration(std::uint64_t g, Addr* addrs, std::uint8_t& db);
+
+  /// Static memory-slot shape shared by every work iteration (the per-ref
+  /// half of a ReplayBatch).
+  std::vector<ReplaySlot> replay_slots() const;
+  /// First iteration (exclusive) a skip starting at @p g may not reach:
+  /// the end of g's tile, or of the loop.
+  std::uint64_t tile_end_of(std::uint64_t g) const;
 
   Addr regular_address(unsigned ref, std::uint64_t global_iter) const;
   Addr irregular_address(unsigned ref, std::uint64_t global_iter, Rng& rng) const;
@@ -104,6 +137,8 @@ class CompiledKernel final : public InstrStream {
   TilePlan plan_;
   CodegenOptions opt_;
   bool tiled_ = false;  ///< hybrid variants with at least one mapped ref
+  std::size_t mem_slot_count_ = 0;   ///< memory slots per work iteration
+  std::vector<Addr> addr_scratch_;   ///< per-iteration resolved addresses
 
   // Static code layout: one pc per (ref, role) slot, assigned once.
   std::vector<Addr> load_pc_;    // per ref
@@ -116,6 +151,10 @@ class CompiledKernel final : public InstrStream {
   // Per-reference RNGs (reset() restores identical streams).
   std::vector<Rng> ref_rng_;
   Rng branch_rng_;
+
+  // Bound descriptor batch: when set, work-iteration resolution reads the
+  // batch instead of drawing from the RNGs (sampled mode).
+  std::shared_ptr<const ReplayBatch> bound_;
 
   // Stream cursor.
   State state_ = State::Init;

@@ -5,8 +5,14 @@
 #include <string>
 
 #include "common/bitops.hpp"
+#include "core/replay.hpp"
 
 namespace hm {
+
+namespace {
+/// Sentinel for step_impl's uop bound: "no uop limit".
+constexpr std::uint64_t kNoUop = ~0ull;
+}  // namespace
 
 OooCore::OooCore(CoreConfig cfg, MemoryHierarchy& hierarchy, LocalMemory* lm,
                  CoherenceDirectory* directory, DmaController* dmac, ByteStore* image)
@@ -14,6 +20,27 @@ OooCore::OooCore(CoreConfig cfg, MemoryHierarchy& hierarchy, LocalMemory* lm,
       image_(image), bpred_(cfg.bpred), stats_("core") {
   if (cfg_.fetch_width == 0 || cfg_.retire_width == 0 || cfg_.rob_size == 0)
     throw std::invalid_argument("core widths/ROB must be non-zero");
+  sc_ = SliceCounters{
+      &stats_.counter("int_ops"),
+      &stats_.counter("fp_ops"),
+      &stats_.counter("loads"),
+      &stats_.counter("stores"),
+      &stats_.counter("guarded_loads"),
+      &stats_.counter("guarded_stores"),
+      &stats_.counter("branches"),
+      &stats_.counter("dma_commands"),
+      &stats_.counter("collapsed_stores"),
+      &stats_.counter("replay_uops"),
+      &stats_.counter("flushed_slots"),
+      &stats_.counter("rob_stall_cycles"),
+      &stats_.counter("regfile_reads"),
+      &stats_.counter("regfile_writes"),
+      &stats_.counter("lm_loads"),
+      &stats_.counter("lm_stores"),
+      &stats_.counter("store_buffer_stall_cycles"),
+      &stats_.counter("value_mismatches"),
+      &stats_.counter("fetch_groups"),
+  };
 }
 
 RunResult OooCore::run(InstrStream& program, const CancelToken* cancel) {
@@ -42,30 +69,45 @@ RunResult OooCore::finish_run() {
 
 bool OooCore::step_until(Cycle limit, const CancelToken* cancel) {
   if (run_state_ == nullptr) throw std::logic_error("step_until without begin_run");
+  return step_impl(limit, kNoUop, cancel);
+}
+
+bool OooCore::step_uops(std::uint64_t max_uops, const CancelToken* cancel) {
+  if (run_state_ == nullptr) throw std::logic_error("step_uops without begin_run");
+  if (run_state_->exhausted) return true;
+  return step_impl(kNoCycle, run_state_->uop_index + max_uops, cancel);
+}
+
+std::uint64_t OooCore::uops_done() const {
+  if (run_state_ == nullptr) throw std::logic_error("uops_done without begin_run");
+  return run_state_->uop_index;
+}
+
+bool OooCore::step_impl(Cycle limit, std::uint64_t stop_uop, const CancelToken* cancel) {
   RunState& st = *run_state_;
   if (st.exhausted) return true;
 
   RunResult& res = st.res;
 
-  Counter& c_int = stats_.counter("int_ops");
-  Counter& c_fp = stats_.counter("fp_ops");
-  Counter& c_loads = stats_.counter("loads");
-  Counter& c_stores = stats_.counter("stores");
-  Counter& c_gld = stats_.counter("guarded_loads");
-  Counter& c_gst = stats_.counter("guarded_stores");
-  Counter& c_branches = stats_.counter("branches");
-  Counter& c_dma_cmds = stats_.counter("dma_commands");
-  Counter& c_collapsed = stats_.counter("collapsed_stores");
-  Counter& c_replays = stats_.counter("replay_uops");
-  Counter& c_flushed = stats_.counter("flushed_slots");
-  Counter& c_rob_stall = stats_.counter("rob_stall_cycles");
-  Counter& c_regreads = stats_.counter("regfile_reads");
-  Counter& c_regwrites = stats_.counter("regfile_writes");
-  Counter& c_lm_loads = stats_.counter("lm_loads");
-  Counter& c_lm_stores = stats_.counter("lm_stores");
-  Counter& c_sb_stall = stats_.counter("store_buffer_stall_cycles");
-  Counter& c_mismatch = stats_.counter("value_mismatches");
-  Counter& c_fetch_groups = stats_.counter("fetch_groups");
+  Counter& c_int = *sc_.int_ops;
+  Counter& c_fp = *sc_.fp_ops;
+  Counter& c_loads = *sc_.loads;
+  Counter& c_stores = *sc_.stores;
+  Counter& c_gld = *sc_.guarded_loads;
+  Counter& c_gst = *sc_.guarded_stores;
+  Counter& c_branches = *sc_.branches;
+  Counter& c_dma_cmds = *sc_.dma_commands;
+  Counter& c_collapsed = *sc_.collapsed_stores;
+  Counter& c_replays = *sc_.replay_uops;
+  Counter& c_flushed = *sc_.flushed_slots;
+  Counter& c_rob_stall = *sc_.rob_stall_cycles;
+  Counter& c_regreads = *sc_.regfile_reads;
+  Counter& c_regwrites = *sc_.regfile_writes;
+  Counter& c_lm_loads = *sc_.lm_loads;
+  Counter& c_lm_stores = *sc_.lm_stores;
+  Counter& c_sb_stall = *sc_.store_buffer_stall_cycles;
+  Counter& c_mismatch = *sc_.value_mismatches;
+  Counter& c_fetch_groups = *sc_.fetch_groups;
 
   // The persistent pipeline state.  The scoreboard/pools/buffers are used
   // through references; the pacing scalars are hoisted into locals for the
@@ -90,7 +132,7 @@ bool OooCore::step_until(Cycle limit, const CancelToken* cancel) {
 
   MicroOp op;
   while (true) {
-    if (dispatch_cycle > limit) break;  // suspend between micro-ops
+    if (dispatch_cycle > limit || uop_index >= stop_uop) break;  // suspend between micro-ops
     if (!st.program->next(op)) {
       exhausted = true;
       break;
@@ -369,6 +411,180 @@ bool OooCore::step_until(Cycle limit, const CancelToken* cancel) {
   st.uop_index = uop_index;
   st.exhausted = exhausted;
   return exhausted;
+}
+
+void OooCore::replay_functional(const ReplayBatch& b, std::uint64_t first,
+                                std::uint64_t count, double cpi) {
+  if (run_state_ == nullptr)
+    throw std::logic_error("replay_functional without begin_run");
+  if (count == 0) return;
+  RunState& st = *run_state_;
+  RunResult& res = st.res;
+  const ReplayIterShape& sh = b.shape;
+
+  // Pipeline-free content advance rate: the measured CPI of the surrounding
+  // detailed intervals, sanitized against degenerate samples.
+  if (!(cpi > 0.0)) cpi = 1.0;
+  cpi = std::min(cpi, 10000.0);
+
+  std::uint64_t n_loads = 0, n_stores = 0, n_gld = 0, n_gst = 0;
+  std::uint64_t n_lm_loads = 0, n_lm_stores = 0, n_collapsed = 0;
+
+  // Mirror of step_impl's memory case for one descriptor, at functional
+  // time @p fnow.  Same content decisions — oracle/guard diversion, plain-
+  // store collapse against the REAL store buffer, store-buffer recycling,
+  // drain windows — with functional_access in place of the timed access.
+  // A store that must recycle a slot whose drain lies in the future is the
+  // back-pressure case detailed dispatch stalls on; the recycled slot's
+  // drain cycle is surfaced through `sb_blocked` so the iteration loop can
+  // stall the functional clock the same way (measured CPI comes from
+  // windows with an un-backlogged buffer, so this cost is otherwise lost).
+  Cycle sb_blocked = 0;
+  const auto exec_store = [&](Cycle fnow, Addr faddr, Addr oaddr, Addr pc,
+                              bool lm_target, bool diverted, bool allow_collapse,
+                              bool has_value, std::uint64_t value) {
+    ++n_stores;
+    const Addr sb_addr = align_down(faddr, 8);
+    // One pass finds both the collapse partner and the min-drain victim;
+    // the victim work is wasted only on a collapse hit.
+    StoreBufferEntry* slot = &st.store_buffer[0];
+    for (auto& e : st.store_buffer) {
+      if (allow_collapse && e.addr == sb_addr && e.drains_at > fnow) {
+        ++n_collapsed;
+        if (image_ != nullptr && has_value) {
+          image_->store64(faddr, value);
+          if (diverted) image_->store64(oaddr, value);
+        }
+        return;
+      }
+      if (e.drains_at < slot->drains_at) slot = &e;
+    }
+    const Cycle sb_start = std::max(fnow, slot->drains_at);
+    if (slot->drains_at > fnow) sb_blocked = std::max(sb_blocked, slot->drains_at);
+    Cycle drain = sb_start + cfg_.store_drain_latency;
+    if (lm_target) {
+      ++n_lm_stores;
+      drain = std::max(drain, lm_->access(sb_start, faddr, AccessType::Write));
+    } else {
+      drain = std::max(drain, hierarchy_.functional_access(sb_start, faddr,
+                                                           AccessType::Write, pc));
+    }
+    slot->addr = sb_addr;
+    slot->drains_at = drain;
+    if (image_ != nullptr && has_value) {
+      image_->store64(faddr, value);
+      if (diverted) image_->store64(oaddr, value);
+    }
+  };
+
+  const Cycle start = st.dispatch_cycle;
+  double fnow_d = static_cast<double>(start);
+  const std::size_t S = b.slots.size();
+
+  for (std::uint64_t g = first; g < first + count; ++g) {
+    const Cycle fnow = static_cast<Cycle>(fnow_d);
+    const Addr* addrs = b.iter_addrs(g);
+    for (std::size_t s = 0; s < S; ++s) {
+      const ReplaySlot& sl = b.slots[s];
+      const Addr orig = addrs[s];
+      Addr final_addr = orig;
+      bool to_lm = lm_ != nullptr && lm_->contains(orig);
+      bool oracle_diverted = false;
+      const bool guarded =
+          sl.kind == OpKind::GuardedLoad || sl.kind == OpKind::GuardedStore;
+      const bool is_load = sl.kind == OpKind::Load || sl.kind == OpKind::GuardedLoad;
+
+      if (!guarded && cfg_.oracle_divert && directory_ != nullptr && !to_lm) {
+        if (auto diverted = directory_->peek(orig)) {
+          final_addr = *diverted;
+          to_lm = true;
+          oracle_diverted = true;
+        }
+      }
+      if (guarded) {
+        if (directory_ == nullptr)
+          throw std::logic_error("guarded instruction on a machine without a directory");
+        const auto look = directory_->lookup(orig, fnow);
+        if (look.hit) {
+          final_addr = look.address;
+          to_lm = true;
+        }
+        (is_load ? n_gld : n_gst)++;
+      }
+
+      if (is_load) {
+        ++n_loads;
+        if (to_lm) {
+          ++n_lm_loads;
+          const Cycle done = lm_->access(fnow, final_addr, AccessType::Read);
+          res.load_latency.add(static_cast<double>(done - fnow));
+        } else {
+          const Cycle done =
+              hierarchy_.functional_access(fnow, final_addr, AccessType::Read, sl.pc);
+          res.load_latency.add(static_cast<double>(done - fnow));
+        }
+      } else {
+        const std::uint64_t value =
+            sl.has_value ? replay_store_value(sl.ref, g) : 0;
+        exec_store(fnow, final_addr, orig, sl.pc, to_lm, oracle_diverted,
+                   /*allow_collapse=*/sl.kind == OpKind::Store, sl.has_value, value);
+        if (sl.double_store) {
+          // The conventional twin of the double store: plain store to the SM
+          // address — collapsible iff the guarded store missed the directory
+          // and so occupied the same store-buffer address (§3.1).
+          exec_store(fnow, orig, orig, sl.extra_pc,
+                     lm_ != nullptr && lm_->contains(orig), /*diverted=*/false,
+                     /*allow_collapse=*/true, sl.has_value, value);
+        }
+      }
+    }
+    // Store-buffer back-pressure: detailed dispatch cannot proceed past a
+    // full buffer, so neither may the functional clock.  Stall to the
+    // recycled slot's drain before charging the iteration's CPI advance.
+    if (sb_blocked > static_cast<Cycle>(fnow_d)) {
+      sc_.store_buffer_stall_cycles->inc(sb_blocked - static_cast<Cycle>(fnow_d));
+      fnow_d = static_cast<double>(sb_blocked);
+    }
+    sb_blocked = 0;
+    fnow_d += cpi * static_cast<double>(sh.uops + (b.db_code[g] != 0 ? 1u : 0u));
+  }
+
+  // Credit the aggregate op mix (content-exact; derived from the batch
+  // shape) so activity-based energy accounting stays consistent.
+  const std::uint64_t uops = b.uops_in_range(first, count);
+  const std::uint64_t db_count = b.db_before[first + count] - b.db_before[first];
+  const bool computed_nz = (sh.int_ops + sh.fp_ops) > 0 || sh.loads > 0;
+  stats_.counter("int_ops").inc(count * sh.int_ops);
+  stats_.counter("fp_ops").inc(count * sh.fp_ops);
+  stats_.counter("branches").inc(count * sh.branches + db_count);
+  stats_.counter("loads").inc(n_loads);
+  stats_.counter("stores").inc(n_stores);
+  stats_.counter("guarded_loads").inc(n_gld);
+  stats_.counter("guarded_stores").inc(n_gst);
+  stats_.counter("collapsed_stores").inc(n_collapsed);
+  stats_.counter("lm_loads").inc(n_lm_loads);
+  stats_.counter("lm_stores").inc(n_lm_stores);
+  stats_.counter("regfile_reads").inc(count * sh.reg_reads + (computed_nz ? db_count : 0));
+  stats_.counter("regfile_writes").inc(count * sh.reg_writes);
+  stats_.counter("fetch_groups").inc((uops + cfg_.fetch_width - 1) / cfg_.fetch_width);
+  res.uops += uops;
+  res.loads += n_loads;
+  res.stores += n_stores;
+  res.guarded_loads += n_gld;
+  res.guarded_stores += n_gst;
+
+  // Absorb the region into the pipeline clock: detailed execution resumes
+  // exactly where the analytic clock left off, with clean pacing state.
+  const Cycle end = std::max(start, static_cast<Cycle>(fnow_d));
+  const Cycle prev_retire = st.last_retire;
+  st.dispatch_cycle = std::max(st.dispatch_cycle, end);
+  st.dispatched_in_cycle = 0;
+  st.last_retire = std::max(st.last_retire, end);
+  st.retire_pace_cycle = st.last_retire;
+  st.retired_in_cycle = 0;
+  st.uop_index += uops;
+  res.phase_cycles[static_cast<unsigned>(ExecPhase::Work)] +=
+      st.last_retire - prev_retire;
 }
 
 }  // namespace hm

@@ -43,6 +43,8 @@
 
 namespace hm {
 
+struct ReplayBatch;
+
 struct CoreConfig {
   unsigned fetch_width = 4;        ///< Table 1: 4 instructions wide
   unsigned retire_width = 4;
@@ -117,6 +119,30 @@ class OooCore {
   /// stream is exhausted (further calls are no-ops returning true).
   /// Requires a begin_run; throws CancelledError exactly as run() does.
   bool step_until(Cycle limit, const CancelToken* cancel = nullptr);
+
+  /// Advances until @p max_uops further micro-ops have been processed (or
+  /// the stream ends / @p cancel fires).  Identical uop sequence to
+  /// step_until — only the suspension criterion differs.  The sampling
+  /// controller's unit of detailed progress.
+  bool step_uops(std::uint64_t max_uops, const CancelToken* cancel = nullptr);
+
+  /// Micro-ops processed so far in the current run.  Valid between
+  /// begin_run and finish_run.
+  std::uint64_t uops_done() const;
+
+  /// Functional fast-forward (sampled engine): replays descriptor-batch work
+  /// iterations [@p first, @p first+count) against the REAL memory system —
+  /// cache tags, directory, LM, prefetchers and the store buffer evolve
+  /// exactly as they would under detailed execution — while the pipeline
+  /// clock advances analytically at the measured @p cpi instead of being
+  /// simulated.  One unified time domain: the functional clock CONTINUES
+  /// the detailed clock, so store-buffer collapse windows, WCB merge
+  /// windows and directory presence stalls stay coherent across the
+  /// detailed/functional boundary.  Requires begin_run; the bound stream
+  /// must already have been advanced past the replayed iterations
+  /// (ReplayableStream::skip_work_iterations).
+  void replay_functional(const ReplayBatch& batch, std::uint64_t first,
+                         std::uint64_t count, double cpi);
 
   /// The dispatch front: cycle of the current fetch group.  Monotone over a
   /// run; the parallel engine's skew measure.  Valid between begin_run and
@@ -199,6 +225,36 @@ class OooCore {
     bool exhausted = false;
   };
 
+  /// Shared loop behind step_until/step_uops: suspends once the dispatch
+  /// front passes @p limit OR @p stop_uop micro-ops have been processed.
+  bool step_impl(Cycle limit, std::uint64_t stop_uop, const CancelToken* cancel);
+
+  /// step_impl's counter bundle, resolved once at construction (StatGroup
+  /// counter references are stable).  The sampling controller steps the
+  /// detailed model a few micro-ops at a time, so per-slice name-map
+  /// lookups would dominate short slices.
+  struct SliceCounters {
+    Counter* int_ops;
+    Counter* fp_ops;
+    Counter* loads;
+    Counter* stores;
+    Counter* guarded_loads;
+    Counter* guarded_stores;
+    Counter* branches;
+    Counter* dma_commands;
+    Counter* collapsed_stores;
+    Counter* replay_uops;
+    Counter* flushed_slots;
+    Counter* rob_stall_cycles;
+    Counter* regfile_reads;
+    Counter* regfile_writes;
+    Counter* lm_loads;
+    Counter* lm_stores;
+    Counter* store_buffer_stall_cycles;
+    Counter* value_mismatches;
+    Counter* fetch_groups;
+  };
+
   CoreConfig cfg_;
   MemoryHierarchy& hierarchy_;
   LocalMemory* lm_;
@@ -207,6 +263,7 @@ class OooCore {
   ByteStore* image_;
   BranchPredictor bpred_;
   StatGroup stats_;
+  SliceCounters sc_;
   std::unique_ptr<RunState> run_state_;
 };
 

@@ -1,0 +1,130 @@
+// Batch-compiled replay descriptors for sampled simulation.
+//
+// A ReplayBatch is the flat, fully pre-resolved form of a kernel's work
+// phase: the descriptor compiler (src/compiler/replay.*) walks every work
+// iteration ONCE, resolves all data-dependent addresses and branch draws,
+// and stores them as plain arrays.  Two consumers replay it instead of
+// re-walking the IR:
+//
+//  * the functional executor (OooCore::replay_functional) fast-forwards
+//    skipped sampling intervals by replaying the descriptors against the
+//    cache hierarchy / directory / LM — warm state without OoO scheduling;
+//  * a batch-bound CompiledKernel emits its detailed work iterations from
+//    the pre-resolved addresses, byte-identical to unbound emission by
+//    construction (the batch was resolved by the same code), which is what
+//    lets the sampling controller skip whole iterations without replaying
+//    RNG draws.
+//
+// The shape split: everything invariant across iterations (op kinds, pcs,
+// guard/double-store flags, per-iteration op counts) lives once in the
+// static section; only addresses and data-branch draws are per-iteration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "core/isa.hpp"
+
+namespace hm {
+
+/// One static memory slot of a work iteration: a load or store reference in
+/// emission order (loads in ref order, then stores in ref order).  A store
+/// slot with `double_store` also emits the conventional extra store at
+/// `extra_pc` to the same address (§3.1).
+struct ReplaySlot {
+  OpKind kind = OpKind::Load;   ///< Load/GuardedLoad/Store/GuardedStore
+  Addr pc = 0;
+  Addr extra_pc = 0;            ///< pc of the double store's plain twin
+  std::uint16_t ref = 0;        ///< source MemRef index (store-value seed)
+  bool double_store = false;    ///< store slot emits the extra plain store
+  bool has_value = false;       ///< functional_stores: writes carry a value
+};
+
+/// Static per-iteration op counts (the data-dependent branch, when present,
+/// is counted separately via ReplayBatch::db_code).
+struct ReplayIterShape {
+  std::uint32_t uops = 0;        ///< without the optional data branch
+  std::uint32_t int_ops = 0;
+  std::uint32_t fp_ops = 0;
+  std::uint32_t branches = 0;    ///< back-edge only (data branch is dynamic)
+  std::uint32_t loads = 0;
+  std::uint32_t stores = 0;      ///< double-store twins included
+  std::uint32_t guarded_loads = 0;
+  std::uint32_t guarded_stores = 0;
+  std::uint32_t reg_reads = 0;   ///< without the data branch's src read
+  std::uint32_t reg_writes = 0;
+};
+
+struct ReplayBatch {
+  // Static shape.
+  std::vector<ReplaySlot> slots;   ///< one entry per resolved address/iter
+  ReplayIterShape shape;
+  std::uint64_t iterations = 0;    ///< work iterations covered (= loop trip)
+  std::uint64_t iters_per_tile = 0;  ///< 0 when untiled
+  std::uint64_t key = 0;           ///< cache key this batch was built under
+
+  // Per-iteration payload, iteration-major: addrs[i * slots.size() + s].
+  std::vector<Addr> addrs;
+  /// Data-dependent branch draw per iteration: 0 = absent, 1 = present and
+  /// not taken, 2 = present and taken.
+  std::vector<std::uint8_t> db_code;
+  /// Prefix sums of data-branch presence: db_before[i] = count in [0, i).
+  /// Sized iterations + 1 so uop totals over any range are O(1).
+  std::vector<std::uint32_t> db_before;
+
+  std::size_t num_slots() const { return slots.size(); }
+  const Addr* iter_addrs(std::uint64_t i) const {
+    return addrs.data() + i * slots.size();
+  }
+  /// Dynamic micro-ops emitted by iterations [first, first + count).
+  std::uint64_t uops_in_range(std::uint64_t first, std::uint64_t count) const {
+    return count * shape.uops +
+           (db_before[first + count] - db_before[first]);
+  }
+  Bytes bytes() const {
+    return addrs.size() * sizeof(Addr) + db_code.size() +
+           db_before.size() * sizeof(std::uint32_t) +
+           slots.size() * sizeof(ReplaySlot);
+  }
+};
+
+/// Deterministic value stored by reference @p ref at iteration @p iter when
+/// functional_stores is on.  Shared between CompiledKernel::store_value and
+/// the functional executor so the two can never drift.
+inline std::uint64_t replay_store_value(unsigned ref, std::uint64_t iter) {
+  return splitmix64_mix((static_cast<std::uint64_t>(ref) << 48) ^ iter ^ kGoldenGamma);
+}
+
+/// An InstrStream whose work phase can be batch-compiled and fast-forwarded.
+/// CompiledKernel implements it; the sampling controller consumes it.
+class ReplayableStream : public InstrStream {
+ public:
+  static constexpr std::uint64_t kNoIteration = ~0ull;
+
+  /// The stream's descriptor batch, built on first use and cached per
+  /// (kernel identity, variant, seed, engine version).
+  virtual std::shared_ptr<const ReplayBatch> replay_batch() = 0;
+
+  /// Bind @p batch: work-phase addresses and branch draws come from the
+  /// batch instead of the resolver, leaving the RNGs untouched so whole
+  /// iterations can be skipped.  Emission stays byte-identical (the batch
+  /// holds exactly what the resolver would produce).  Pass nullptr to
+  /// unbind; reset() keeps the binding.
+  virtual void bind_replay(std::shared_ptr<const ReplayBatch> batch) = 0;
+
+  /// Index of the work iteration the next refill would emit, or
+  /// kNoIteration when the stream is not at a work-iteration boundary
+  /// (mid-iteration, or control/synch/epilogue ops are pending).
+  virtual std::uint64_t work_cursor() const = 0;
+
+  /// Skip up to @p n whole work iterations without emitting them.  Only
+  /// legal when bound and at a work-iteration boundary; never crosses a
+  /// tile boundary (control/synch phases always run detailed).  Returns
+  /// the number of iterations skipped.
+  virtual std::uint64_t skip_work_iterations(std::uint64_t n) = 0;
+};
+
+}  // namespace hm

@@ -349,9 +349,12 @@ std::optional<PointResult> MemoCache::lookup(const SweepPoint& p) const {
     return std::nullopt;
   }
   // A stale engine version is the EXPECTED state after an engine bump —
-  // a silent miss, never counted as corruption.
-  if (std::strtoull(it->second.c_str(), nullptr, 10) != kEngineVersion)
+  // a miss, never counted as corruption, but tallied so the sweep summary
+  // can report how much of the cache predates the current engine.
+  if (std::strtoull(it->second.c_str(), nullptr, 10) != kEngineVersion) {
+    stale_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
+  }
   std::optional<PointResult> r = point_from_json(text);
   if (!r || !r->ok) {
     note_corrupt(path);  // parsed but failed/implausible: store() never writes these

@@ -121,7 +121,8 @@ double mean_of(const std::vector<double>& xs);
 /// miss AND increments corrupt_entries() (surfaced in the sweep summary),
 /// with the first offending path logged once per cache instance.  A stale
 /// engine version is NOT corruption — it is the expected state after an
-/// engine bump and stays a silent miss.
+/// engine bump: a miss, counted separately in stale_entries() so the sweep
+/// summary can tell "cold cache" from "cache predates the engine bump".
 class MemoCache {
  public:
   explicit MemoCache(std::string dir);  // "" => disabled
@@ -138,6 +139,12 @@ class MemoCache {
     return corrupt_.load(std::memory_order_relaxed);
   }
 
+  /// Entries lookup() skipped because they were written by an older
+  /// kEngineVersion (expected after an engine bump; not corruption).
+  std::uint64_t stale_entries() const {
+    return stale_.load(std::memory_order_relaxed);
+  }
+
   static std::uint64_t key(const SweepPoint& p);
 
  private:
@@ -145,6 +152,7 @@ class MemoCache {
   void note_corrupt(const std::string& path) const;
   std::string dir_;
   mutable std::atomic<std::uint64_t> corrupt_{0};
+  mutable std::atomic<std::uint64_t> stale_{0};
   mutable std::atomic<bool> logged_corrupt_{false};
 };
 

@@ -313,6 +313,8 @@ struct SweepMetrics {
       reg().counter("hm_occupancy_delay_cycles_total", "");
   obs::Counter& sim_cycles = reg().counter("hm_sim_cycles_total", "");
   obs::Histogram& tile_skew = reg().histogram("hm_tile_skew_cycles", "", {});
+  obs::Histogram& sampled_fraction = reg().histogram("hm_sampled_fraction", "", {});
+  obs::Histogram& sample_error = reg().histogram("hm_sample_error", "", {});
 
  private:
   static obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
@@ -391,9 +393,10 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   if (engine_alters && (!opt.journal_dir.empty() || !opt.cache_dir.empty() ||
                         opt.session_cache != nullptr))
     HM_WARN("sweep " << spec.name
-                     << ": engine config alters results (relaxed sync or "
-                        "finite lockstep quantum) — memo cache, session "
-                        "cache and journal disabled for this sweep");
+                     << ": engine config alters results (sampled simulation, "
+                        "relaxed sync or finite lockstep quantum) — memo "
+                        "cache, session cache and journal disabled for this "
+                        "sweep");
   const std::string journal_dir = engine_alters ? std::string{} : opt.journal_dir;
   RunCache* const session_cache = engine_alters ? nullptr : opt.session_cache;
 
@@ -540,6 +543,10 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
         if (opt.engine.tile_threads > 1 &&
             opt.engine.sync == EngineConfig::Sync::Relaxed)
           mx.tile_skew.observe(static_cast<double>(r.report.max_tile_skew));
+        if (opt.engine.sampling.enabled()) {
+          mx.sampled_fraction.observe(r.report.sampled_fraction);
+          mx.sample_error.observe(r.report.sample_error);
+        }
         mx.occ_delay.inc(static_cast<double>(
             r.report.l2_port.queue_cycles + r.report.l3_port.queue_cycles +
             r.report.dram.queue_cycles + r.report.dma_bus.queue_cycles));
@@ -618,6 +625,7 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   }
   out.retries = retries.load(std::memory_order_relaxed);
   out.cache_corrupt = disk.corrupt_entries();
+  out.stale_entries = disk.stale_entries();
 
   // Phase attribution over executed points (profile.measured excludes cache
   // hits, resumed replays, and points that failed before measuring).

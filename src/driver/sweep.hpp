@@ -107,6 +107,7 @@ struct SweepOutcome {
   std::size_t retries = 0;        ///< extra attempts consumed by transients
   std::size_t resumed = 0;        ///< points replayed from the journal
   std::size_t cache_corrupt = 0;  ///< corrupt memo-cache files (degraded to misses)
+  std::size_t stale_entries = 0;  ///< memo-cache entries skipped: older engine version
   double wall_seconds = 0.0;  ///< diagnostics only; never serialized
   // Phase attribution summed over EXECUTED points (cache hits and resumed
   // points did not run, so they contribute nothing).  Diagnostics only;

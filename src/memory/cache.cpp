@@ -95,4 +95,23 @@ std::size_t SetAssocCache::valid_lines() const {
   return n;
 }
 
+std::vector<SetAssocCache::LineState> SetAssocCache::dump_state() const {
+  std::vector<LineState> out;
+  out.reserve(valid_lines());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> set_lines;  // (stamp, way)
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    set_lines.clear();
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      const std::size_t idx = slot(set, w);
+      if (tags_[idx] != kNoAddr) set_lines.emplace_back(meta_[idx] >> 1, w);
+    }
+    std::sort(set_lines.begin(), set_lines.end());  // stamps unique per set
+    for (std::uint32_t rank = 0; rank < set_lines.size(); ++rank) {
+      const std::size_t idx = slot(set, set_lines[rank].second);
+      out.push_back(LineState{set, rank, tags_[idx], (meta_[idx] & 1u) != 0});
+    }
+  }
+  return out;
+}
+
 }  // namespace hm

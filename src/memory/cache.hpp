@@ -178,6 +178,27 @@ class SetAssocCache {
   /// Number of currently valid lines (for tests).
   std::size_t valid_lines() const;
 
+  /// One valid line of a canonical tag-state dump (see dump_state()).
+  struct LineState {
+    std::uint32_t set = 0;
+    std::uint32_t rank = 0;  ///< recency rank within the set, 0 = LRU
+    Addr line_addr = kNoAddr;
+    bool dirty = false;
+    bool operator==(const LineState& o) const {
+      return set == o.set && rank == o.rank && line_addr == o.line_addr &&
+             dirty == o.dirty;
+    }
+  };
+
+  /// Canonical replacement-state dump for equivalence tests: every valid
+  /// line as (set, recency rank within the set, line address, dirty), set-
+  /// major and rank-ordered.  Recency is expressed as the per-set RANK of
+  /// the raw LRU stamp, not the stamp itself — stamps are a global
+  /// monotonic clock (occasionally renumbered) whose absolute values differ
+  /// between two runs that made the same per-set replacement decisions, and
+  /// rank is exactly the information victim selection consumes.
+  std::vector<LineState> dump_state() const;
+
   bool contains(Addr addr) const { return peek(addr).hit; }
 
   Addr line_base(Addr addr) const { return addr & ~line_mask_; }

@@ -73,6 +73,16 @@ class MemoryHierarchy {
   /// for prefetcher training.
   AccessResult access(Cycle now, Addr addr, AccessType type, Addr pc);
 
+  /// Content-only twin of access() for the sampled engine's functional
+  /// fast-forward: performs the identical sequence of cache tag/LRU/dirty
+  /// updates, prefetcher training and fill/victim traffic — so cache,
+  /// directory-visible and prefetcher state stay warm and activity counters
+  /// stay exact — but books no port/DRAM occupancy and skips the MSHRs.
+  /// Returns an approximate completion cycle (configured latencies, no
+  /// queueing) used only for write-window modelling.  Serial engine only:
+  /// must not run concurrently with other tiles.
+  Cycle functional_access(Cycle now, Addr addr, AccessType type, Addr pc);
+
   /// Coherent dma-get bus request for one line: read from this tile's L1 if
   /// resident, else from the shared caches, else from main memory.
   /// Returns completion cycle.
@@ -201,6 +211,27 @@ class MemoryHierarchy {
   void run_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& sc);
   void run_prefetches_l2(Cycle now, Addr pc, Addr addr, Scratch& sc);
   void run_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& sc);
+
+  // Content-exact twins of the miss/fill helpers above, used exclusively by
+  // functional_access().  They perform the identical sequence of cache
+  // lookups, fills, victim writebacks and prefetcher training — so the tag,
+  // LRU, dirty and training state evolves exactly as under the detailed
+  // path — and BOOK the port/DRAM slots their traffic would occupy, with
+  // the granted (queued) starts reflected in the returned latency.  Booking
+  // keeps the shared timelines dense across fast-forwarded regions so the
+  // detailed intervals between them observe realistic contention, and the
+  // queued drain times give the replayed store buffer real back-pressure.
+  // No MSHRs, no UncoreGuard: the sampled engine is serial by construction.
+  Cycle functional_fill_from_below(Cycle now, Addr addr, Addr pc, Scratch& sc,
+                                   SetAssocCache::LookupResult* l2_loc = nullptr);
+  void functional_l2_victim(Cycle now, const EvictedLine& v, Scratch& sc);
+  void functional_l3_victim(Cycle now, const EvictedLine& v, Scratch& sc);
+  void functional_fetch_below_l2(Cycle now, Addr line,
+                                 const SetAssocCache::LookupResult& l2_miss, Scratch& sc);
+  Cycle functional_wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc);
+  void functional_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& sc);
+  void functional_prefetches_l2(Cycle now, Addr pc, Addr addr, Scratch& sc);
+  void functional_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& sc);
 
   HierarchyConfig cfg_;
   /// Non-null only for the standalone constructor; uncore_ points at it.

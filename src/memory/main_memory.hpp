@@ -38,6 +38,16 @@ class MainMemory {
     return port_.book(now) + cfg_.latency;
   }
 
+  /// Access for the functional (sampled fast-forward) executor.  Identical
+  /// to access() — the channel slot IS booked and the queued completion
+  /// cycle returned — because fast-forwarded regions must leave the channel
+  /// timeline as dense as detailed execution would, and the store-drain
+  /// times derived from the return feed the replayed store buffer's
+  /// back-pressure.  Kept as a separate entry point so the functional call
+  /// sites stay greppable and the contract (content + contention, no MSHRs)
+  /// is documented in one place.
+  Cycle count_access(Cycle now, AccessType type) { return access(now, type); }
+
   void reset(Cycle now = 0) { (void)now; port_.reset(); }
 
   const MainMemoryConfig& config() const { return cfg_; }

@@ -14,6 +14,7 @@ namespace {
 constexpr const char* kSuffixes[] = {
     "_total", "_seconds", "_cycles", "_bytes",  "_ratio",
     "_count", "_depth",   "_jobs",   "_workers", "_info",
+    "_fraction", "_error",
 };
 
 void append_double(std::string& out, double v) {
@@ -89,7 +90,7 @@ MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
         "metric name '" + name +
         "' violates lint: hm_-prefixed snake_case with a unit suffix "
         "(_total/_seconds/_cycles/_bytes/_ratio/_count/_depth/_jobs/"
-        "_workers/_info)");
+        "_workers/_info/_fraction/_error)");
   for (Family& f : families_)
     if (f.name == name) {
       if (f.type != type)
@@ -267,6 +268,14 @@ void register_builtin_metrics(MetricsRegistry& reg) {
                 "Maximum grant-time cycle skew between tile threads per "
                 "executed point (relaxed parallel engine only)",
                 {0.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0});
+  reg.histogram("hm_sampled_fraction",
+                "Fraction of uops replayed functionally per executed point "
+                "(sampled engine only)",
+                {0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99});
+  reg.histogram("hm_sample_error",
+                "Reported relative cycle error bound per executed point "
+                "(sampled engine only)",
+                {0.0, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1});
 }
 
 }  // namespace hm::obs

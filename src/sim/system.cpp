@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
@@ -9,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/replay.hpp"
 #include "obs/trace.hpp"
 
 namespace hm {
@@ -111,10 +113,20 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
   const std::size_t n = programs.size();
   std::vector<RunResult> results(n);
   Cycle max_skew = 0;
+  double sample_error = 0.0;
+  double sampled_fraction = 0.0;
+  // Sampling forces the serial engine: per-tile alternation of detailed and
+  // functional intervals is only meaningful on the deterministic tile-order
+  // schedule, and this is what makes sampled results independent of
+  // --tile-threads (tests/sampling_test.cpp asserts it).
+  const bool sampling = engine_.sampling.enabled();
   const unsigned threads =
-      std::min<unsigned>(engine_.tile_threads, static_cast<unsigned>(n));
+      sampling ? 1u
+               : std::min<unsigned>(engine_.tile_threads, static_cast<unsigned>(n));
   if (threads <= 1) {
     // Serial reference engine: one tile after another, in tile order.
+    std::uint64_t ff_uops_total = 0;
+    std::uint64_t uops_total = 0;
     for (std::size_t i = 0; i < n; ++i) {
       // Coarse cancellation boundary: a watchdog that fires while tile i is
       // mid-stream is also observed here before tile i+1 starts, so a
@@ -123,10 +135,21 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
       if (cancel != nullptr && cancel->cancelled())
         throw CancelledError(CancelledError::Reason::External,
                              "run cancelled (watchdog or external)");
-      programs[i]->reset();
-      results[i] = tiles_[i]->core().run(*programs[i], cancel);
+      if (sampling) {
+        TileSampleStats ts;
+        results[i] = run_tile_sampled(i, *programs[i], cancel, ts);
+        ff_uops_total += ts.ff_uops;
+        uops_total += ts.total_uops;
+        sample_error = std::max(sample_error, ts.error_bound);
+      } else {
+        programs[i]->reset();
+        results[i] = tiles_[i]->core().run(*programs[i], cancel);
+      }
       if (obs::tracing_active()) [[unlikely]] emit_tile_phase_trace(i, results[i]);
     }
+    if (uops_total > 0)
+      sampled_fraction = static_cast<double>(ff_uops_total) /
+                         static_cast<double>(uops_total);
   } else {
     if (engine_.sync == EngineConfig::Sync::Lockstep) {
       run_tiles_lockstep(programs, results, cancel, threads);
@@ -143,6 +166,8 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
 
   RunReport report;
   report.max_tile_skew = max_skew;
+  report.sample_error = sample_error;
+  report.sampled_fraction = sampled_fraction;
 
   // Aggregate core result: the end-of-stream barrier makes the run as slow
   // as its slowest tile; instruction counts sum; the load-latency
@@ -478,6 +503,234 @@ Cycle System::run_tiles_relaxed(const std::vector<InstrStream*>& programs,
   image_.set_concurrent(false);
   if (error) std::rethrow_exception(error);
   return max_skew;
+}
+
+// ---------------------------------------------------------------------------
+// Sampled engine.
+
+namespace {
+
+/// Safety multiplier on the per-region error bound: each fast-forwarded
+/// region's true CPI is assumed to lie within kSampleSafety times the CPI
+/// delta observed at the measurement bracketing it.  Empirically calibrated
+/// against full runs of the NAS kernels (tests/sampling_test.cpp:
+/// ErrorBoundIsHonest).
+constexpr double kSampleSafety = 2.0;
+/// Relative floor on the per-region CPI deviation: even when bracketing
+/// measurements agree exactly, the unobserved region may deviate by this
+/// fraction of the measured CPI.
+constexpr double kSampleSpreadFloor = 0.04;
+/// Adjacent-measurement agreement tolerance: gates the start of fast-forward
+/// (cold-start transient runs detailed) and drives the adaptive region
+/// length (regions double while consecutive measurements agree, halve when
+/// they disagree — tight tracking through drift, long regions at steady
+/// state).
+constexpr double kSampleConvergence = 0.10;
+
+}  // namespace
+
+RunResult System::run_tile_sampled(std::size_t tile, InstrStream& program,
+                                   const CancelToken* cancel, TileSampleStats& out) {
+  OooCore& core = tiles_[tile]->core();
+  auto* rs = dynamic_cast<ReplayableStream*>(&program);
+  std::shared_ptr<const ReplayBatch> batch;
+  if (rs != nullptr) batch = rs->replay_batch();
+  program.reset();
+  if (batch == nullptr || batch->iterations == 0 || batch->shape.uops == 0) {
+    // Not a batch-compilable stream: run fully detailed.  sampled_fraction
+    // stays 0 for this tile, the estimate is exact.
+    RunResult r = core.run(program, cancel);
+    out.total_uops = r.uops;
+    return r;
+  }
+
+  // Bind the batch so the stream serves pre-resolved addresses during the
+  // detailed intervals too (identical op sequence, no re-walks of the IR),
+  // and so skip_work_iterations can advance the stream without emitting.
+  rs->bind_replay(batch);
+  program.reset();
+
+  const SamplingConfig& sc = engine_.sampling;
+  const std::uint64_t warm = std::max<std::uint64_t>(1, sc.warmup_uops);
+  const std::uint64_t det = std::max<std::uint64_t>(1, sc.detail_uops);
+  const std::uint64_t ff_budget =
+      std::max<std::uint64_t>(batch->shape.uops, sc.ff_uops);
+
+  char lane[24];
+  std::snprintf(lane, sizeof lane, "tile%u", static_cast<unsigned>(tile));
+  const bool tracing = obs::tracing_active();
+
+  double cpi = 1.0;
+  std::uint64_t ff_uops = 0;
+  bool fin = false;
+
+  // Reach a work-iteration boundary in detail (control phases — DMA
+  // transfers, dir reconfiguration, synchs — always run detailed).
+  const auto to_boundary = [&] {
+    while (!fin && rs->work_cursor() == ReplayableStream::kNoIteration)
+      fin = core.step_uops(1, cancel);
+  };
+
+  // Detailed execution of whole work iterations, up to `budget` uops;
+  // stops early when the work phase ends.  Stepping exact per-iteration
+  // uop counts keeps the stream on iteration boundaries throughout.
+  const auto detail_work = [&](std::uint64_t budget) {
+    std::uint64_t done = 0;
+    while (!fin && done < budget) {
+      const std::uint64_t cur = rs->work_cursor();
+      if (cur == ReplayableStream::kNoIteration) break;
+      const std::uint64_t u = batch->uops_in_range(cur, 1);
+      fin = core.step_uops(u, cancel);
+      done += u;
+    }
+  };
+
+  // One detailed measured interval: CPI over whole detailed WORK iterations
+  // only.  Control phases are never fast-forwarded, so their (often huge)
+  // stall cycles must not contaminate the extrapolation CPI — an interval
+  // spanning a DMA wait would overestimate work CPI several-fold.  Returns
+  // true when the interval produced a usable CPI sample.
+  const auto measure = [&]() -> bool {
+    to_boundary();
+    detail_work(warm);
+    to_boundary();  // the warmup may have crossed into a control phase
+    const std::uint64_t u1 = core.uops_done();
+    const Cycle c1 = core.front();
+    detail_work(det);
+    const std::uint64_t u2 = core.uops_done();
+    const Cycle c2 = core.front();
+    const bool usable = u2 > u1 && c2 > c1;
+    if (usable) {
+      cpi = static_cast<double>(c2 - c1) / static_cast<double>(u2 - u1);
+      if (tracing) [[unlikely]] obs::sim_span(lane, "sample.detail", c1, c2 - c1);
+    }
+    return usable;
+  };
+
+  // Adaptive region length: fast-forwarded uops between measurements.
+  // Doubles while consecutive measurements agree (steady state earns long
+  // regions, up to ff_budget), halves when they disagree (drift — cache
+  // warm-up, phase change — earns tight tracking).
+  std::uint64_t region = std::max<std::uint64_t>(batch->shape.uops, det);
+  std::uint64_t pending_ff = 0;   // ffed uops not yet bracketed by a measurement
+  double cpi_used = 1.0;          // the CPI pending_ff was extrapolated at
+  double last_delta = 0.0;        // |cpi step| at the latest measurement
+  double err_cycles = 0.0;        // accumulated per-region error bound
+
+  // Close the open fast-forward region against a fresh measurement: its
+  // true CPI is assumed within kSampleSafety of the observed CPI step
+  // across it (never less than the deviation floor).
+  const auto account_pending = [&](double new_cpi) {
+    if (pending_ff == 0) return;
+    last_delta = std::abs(new_cpi - cpi_used);
+    err_cycles += static_cast<double>(pending_ff) *
+                  std::max(last_delta, kSampleSpreadFloor * cpi_used);
+    pending_ff = 0;
+  };
+
+  try {
+    core.begin_run(program);
+
+    // Cold-start convergence gate: the run's first intervals execute against
+    // empty caches and an untrained directory/prefetcher, and their CPI can
+    // be several times the steady state.  Extrapolating it would wreck the
+    // estimate, so fast-forward only begins once two consecutive measured
+    // intervals agree within kSampleConvergence — everything before that ran
+    // detailed anyway, hence is exact.  A run whose CPI never settles
+    // degrades gracefully to a fully detailed (exact) run.
+    double prev = -1.0;
+    bool stable = false;
+    while (!fin && !stable) {
+      if (measure()) {
+        stable = prev > 0.0 &&
+                 std::abs(cpi - prev) <= kSampleConvergence * prev;
+        prev = cpi;
+      }
+    }
+
+    // Every fast-forward region must end bracketed by a real measurement —
+    // an unbracketed tail's CPI drift would be invisible to the error
+    // bound.  Reserving warm + 2*det work uops ahead of any skip keeps
+    // enough detailed work at the end of the stream for that closing
+    // measurement to produce a usable CPI.
+    const std::uint64_t reserve = warm + 2 * det;
+
+    while (!fin) {
+      to_boundary();
+      if (fin) break;
+
+      // Functional fast-forward of whole work iterations, up to the open
+      // region's remainder or the end of the current tile chunk (whichever
+      // comes first; the region then continues past the detailed control
+      // phase into the next chunk).
+      const Cycle ff_start = core.front();
+      const std::uint64_t budget = region - std::min(region, pending_ff);
+      std::uint64_t done_uops = 0;
+      while (done_uops < budget) {
+        const std::uint64_t cur = rs->work_cursor();
+        if (cur == ReplayableStream::kNoIteration) break;
+        const std::uint64_t remaining =
+            batch->uops_in_range(cur, batch->iterations - cur);
+        if (remaining <= reserve) break;  // tail runs detailed (bracketing)
+        std::uint64_t want = std::max<std::uint64_t>(
+            1, (budget - done_uops) / batch->shape.uops);
+        want = std::min<std::uint64_t>(
+            want, std::max<std::uint64_t>(1, (remaining - reserve) /
+                                                 batch->shape.uops));
+        const std::uint64_t k = rs->skip_work_iterations(want);
+        if (k == 0) break;
+        core.replay_functional(*batch, cur, k, cpi);
+        done_uops += batch->uops_in_range(cur, k);
+      }
+      if (done_uops == 0 && pending_ff == 0) {
+        // Nothing to skip at this boundary (e.g. reserved tail, or the
+        // last iteration of a chunk): make detailed progress so the loop
+        // cannot spin.
+        fin = core.step_uops(1, cancel);
+        continue;
+      }
+      ff_uops += done_uops;
+      pending_ff += done_uops;
+      if (done_uops > 0) {
+        cpi_used = cpi;
+        if (tracing) [[unlikely]]
+          obs::sim_span(lane, "sample.ff", ff_start, core.front() - ff_start);
+      }
+
+      // Region complete — or no further fast-forward possible here (the
+      // reserved tail or a chunk boundary): bracket the open region with a
+      // fresh measurement, charge its error contribution, and adapt the
+      // next region's length.
+      if ((pending_ff >= region || done_uops == 0) && !fin) {
+        if (measure()) {
+          const bool agree = std::abs(cpi - cpi_used) <=
+                             kSampleConvergence * std::max(cpi_used, 1e-9);
+          account_pending(cpi);
+          region = agree ? std::min(region * 2, ff_budget)
+                         : std::max<std::uint64_t>(det, region / 2);
+        } else if (done_uops == 0) {
+          fin = core.step_uops(1, cancel);  // guaranteed progress
+        }
+      }
+    }
+  } catch (...) {
+    rs->bind_replay(nullptr);
+    throw;
+  }
+
+  RunResult r = core.finish_run();
+  rs->bind_replay(nullptr);
+  out.total_uops = r.uops;
+  out.ff_uops = ff_uops;
+  // The final region has no bracketing measurement: charge it the larger of
+  // the latest observed CPI step and the floor.
+  if (pending_ff > 0)
+    err_cycles += static_cast<double>(pending_ff) *
+                  std::max(last_delta, kSampleSpreadFloor * cpi_used);
+  if (ff_uops > 0 && r.cycles > 0)
+    out.error_bound =
+        kSampleSafety * err_cycles / static_cast<double>(r.cycles);
+  return r;
 }
 
 }  // namespace hm

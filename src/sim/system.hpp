@@ -40,21 +40,45 @@ namespace hm {
 ///    aggregate instruction counts are exact, timing varies within the
 ///    skew bound.  The observed maximum grant-time skew is reported in
 ///    RunReport::max_tile_skew.
+/// Sampled-simulation configuration (interval sampling à la SMARTS): the
+/// controller alternates detailed execution with functional fast-forward of
+/// batch-compiled work iterations.  Each sampling unit runs `warmup_uops` of
+/// detailed execution (warming the pipeline after a fast-forward), then a
+/// `detail_uops` measured interval (the CPI sample), then fast-forwards
+/// about `ff_uops` micro-ops functionally — memory/directory/LM/prefetcher
+/// state evolves exactly, the pipeline clock advances at the measured CPI.
+/// Cycles and energy are therefore extrapolated, with a per-point relative
+/// error bound reported in RunReport::sample_error.  Off (the default) is
+/// byte-identical to the serial reference engine.
+struct SamplingConfig {
+  enum class Mode : std::uint8_t { Off, Interval };
+  Mode mode = Mode::Off;
+  std::uint64_t warmup_uops = 2000;
+  std::uint64_t detail_uops = 10000;
+  std::uint64_t ff_uops = 500000;
+  bool enabled() const { return mode != Mode::Off; }
+};
+
 struct EngineConfig {
   enum class Sync : std::uint8_t { Lockstep, Relaxed };
   unsigned tile_threads = 1;  ///< <=1: serial reference engine
   Sync sync = Sync::Lockstep;
   Cycle quantum = 0;          ///< lockstep turn length; 0 = whole-run turns
   Cycle skew_bound = 8192;    ///< relaxed max front skew (cycles, >= 1)
+  /// Sampled simulation.  When enabled the run is forced onto the serial
+  /// engine (tile_threads is ignored), so sampled results are deterministic
+  /// across thread-count knobs; cycles/energy become estimates.
+  SamplingConfig sampling;
 };
 
 /// True when @p e can produce results that differ from the serial engine
-/// (relaxed interleaving, or lockstep with a finite quantum).  Callers
-/// keying caches/journals on the canonical point identity — which elides
-/// engine knobs — must not store such results.
+/// (sampling estimates, relaxed interleaving, or lockstep with a finite
+/// quantum).  Callers keying caches/journals on the canonical point
+/// identity — which elides engine knobs — must not store such results.
 inline bool engine_alters_results(const EngineConfig& e) {
-  return e.tile_threads > 1 &&
-         (e.sync == EngineConfig::Sync::Relaxed || e.quantum != 0);
+  return e.sampling.enabled() ||
+         (e.tile_threads > 1 &&
+          (e.sync == EngineConfig::Sync::Relaxed || e.quantum != 0));
 }
 
 /// Per-tile section of a run: one entry per tile that executed a program.
@@ -114,6 +138,18 @@ struct RunReport {
   /// 0 for the serial and lockstep engines.  In-memory diagnostic — never
   /// serialized (golden/cache formats are engine-independent).
   Cycle max_tile_skew = 0;
+
+  /// Sampled engine only: conservative relative error bound on the cycle
+  /// (and hence energy) estimate, derived from the spread of the measured
+  /// per-interval CPI samples over the fast-forwarded uops — worst tile of
+  /// the run.  0 when sampling is off or nothing was fast-forwarded.
+  /// In-memory diagnostic — never serialized, like max_tile_skew.
+  double sample_error = 0.0;
+
+  /// Sampled engine only: fraction of all retired uops that were replayed
+  /// functionally instead of simulated in detail (0 when sampling is off).
+  /// In-memory diagnostic — never serialized.
+  double sampled_fraction = 0.0;
 
   /// Total occupancy-horizon overflows across the four shared resources —
   /// zero whenever the contention model covered the whole run.
@@ -188,6 +224,21 @@ class System {
   Cycle run_tiles_relaxed(const std::vector<InstrStream*>& programs,
                           std::vector<RunResult>& results,
                           const CancelToken* cancel, unsigned threads);
+
+  /// Per-tile outcome of a sampled run (feeds RunReport::sample_error and
+  /// RunReport::sampled_fraction).
+  struct TileSampleStats {
+    std::uint64_t ff_uops = 0;     ///< uops replayed functionally
+    std::uint64_t total_uops = 0;  ///< all uops of the tile's run
+    double error_bound = 0.0;      ///< relative cycle error bound
+  };
+
+  /// Sampled-engine execution of one tile's program: detailed warmup +
+  /// measured intervals alternating with functional fast-forward of whole
+  /// work iterations.  Streams that are not ReplayableStream (or have no
+  /// work iterations) silently run fully detailed.
+  RunResult run_tile_sampled(std::size_t tile, InstrStream& program,
+                             const CancelToken* cancel, TileSampleStats& out);
 
   MachineConfig cfg_;
   ByteStore image_;

@@ -19,6 +19,19 @@
 //     --quantum N         lockstep turn length in cycles (default 0 =
 //                         whole-run turns; nonzero also disables caches)
 //     --skew-bound N      relaxed max cycle skew between tiles (default 8192)
+//   Sampled simulation (see README "Sampled simulation"):
+//     --sample MODE       off|interval (default off): interval alternates
+//                         detailed warmup+measurement with batch-compiled
+//                         functional fast-forward per tile; cycles/energy
+//                         are extrapolated and each point reports an error
+//                         bound.  Approximate: disables caches and the
+//                         journal, forces the serial engine
+//     --warmup N          detailed warmup uops per measurement (default 2000)
+//     --detail N          detailed measured uops per interval (default 10000)
+//     --ff N              fast-forwarded uops per interval (default 500000)
+//     --sample-report FILE  per-point sampling side-channel (JSONL: point
+//                         canonical, cycles, sample_error, sampled_fraction)
+//                         for the sampled-vs-full validation sweep
 //     --format table|json|csv             stdout format (default table)
 //     --out DIR           also write DIR/<name>.json and DIR/<name>.csv
 //                         (missing parent directories are created)
@@ -104,6 +117,9 @@ struct CliOptions {
   std::string sync = "lockstep";
   unsigned quantum = 0;
   unsigned skew_bound = 8192;
+  std::string sample = "off";
+  hm::SamplingConfig sampling;  // warmup/detail/ff knobs; mode set from `sample`
+  std::string sample_report;
 };
 
 int usage(const char* argv0, int code) {
@@ -115,7 +131,8 @@ int usage(const char* argv0, int code) {
                "       [--retries N] [--deadline SECS] [--max-point-cycles N]\n"
                "       [--faults SPEC] [--trace-dir DIR] [--metrics-out FILE]\n"
                "       [--progress] [--tile-threads N] [--sync lockstep|relaxed]\n"
-               "       [--quantum N] [--skew-bound N]\n",
+               "       [--quantum N] [--skew-bound N] [--sample off|interval]\n"
+               "       [--warmup N] [--detail N] [--ff N] [--sample-report FILE]\n",
                argv0);
   return code;
 }
@@ -300,6 +317,39 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
         std::fprintf(stderr, "--skew-bound expects a positive integer, got: %s\n", v);
         return false;
       }
+    } else if (arg == "--sample") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.sample = v;
+      if (opt.sample != "off" && opt.sample != "interval") {
+        std::fprintf(stderr, "--sample expects off or interval, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--warmup") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_u64(v, opt.sampling.warmup_uops)) {
+        std::fprintf(stderr, "--warmup expects a positive integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--detail") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_u64(v, opt.sampling.detail_uops)) {
+        std::fprintf(stderr, "--detail expects a positive integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--ff") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_u64(v, opt.sampling.ff_uops)) {
+        std::fprintf(stderr, "--ff expects a positive integer, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--sample-report") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.sample_report = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
       std::exit(0);
@@ -483,6 +533,14 @@ int main(int argc, char** argv) {
                                       : hm::EngineConfig::Sync::Lockstep;
   engine.quantum = opt.quantum;
   engine.skew_bound = opt.skew_bound;
+  engine.sampling = opt.sampling;
+  engine.sampling.mode = opt.sample == "interval"
+                             ? hm::SamplingConfig::Mode::Interval
+                             : hm::SamplingConfig::Mode::Off;
+  if (!opt.sample_report.empty() && !engine.sampling.enabled()) {
+    std::fprintf(stderr, "--sample-report needs --sample interval\n");
+    return usage(argv[0], 2);
+  }
   const unsigned jobs =
       opt.jobs == 0 ? SweepScheduler::auto_jobs(opt.tile_threads) : opt.jobs;
   if (opt.jobs != 0 && jobs * opt.tile_threads > SweepScheduler::auto_jobs())
@@ -493,12 +551,17 @@ int main(int argc, char** argv) {
                  SweepScheduler::auto_jobs());
   if (hm::engine_alters_results(engine) && !opt.quiet)
     std::fprintf(stderr,
-                 "note: engine config alters results (--sync relaxed or "
-                 "--quantum > 0): memo cache, session cache and journal are "
-                 "disabled for these sweeps\n");
+                 "note: engine config alters results (--sample interval, "
+                 "--sync relaxed or --quantum > 0): memo cache, session cache "
+                 "and journal are disabled for these sweeps\n");
   const bool tty = !opt.quiet && progress_to_tty();
   RunCache session;
   std::size_t total_failures = 0;
+  // --sample-report side-channel: sample_error/sampled_fraction are
+  // in-memory-only RunReport fields (never in point_json/csv), so the
+  // sampled-vs-full validation sweep needs this JSONL export.  Sampled
+  // sweeps bypass every cache, so each row comes from a fresh execution.
+  std::string sample_report_lines;
 
   // Any exception escaping the sweep loop — a throwing report_serialize
   // fault, a filesystem surprise — is a FATAL driver error (exit 1),
@@ -558,6 +621,25 @@ int main(int argc, char** argv) {
       if (tty || opt.live_progress) std::fprintf(stderr, "\r\033[K");
 
       total_failures += out.failures;
+      if (!opt.sample_report.empty()) {
+        for (const PointResult& r : out.points) {
+          if (!r.ok) continue;
+          std::string& line = sample_report_lines;
+          line += "{\"experiment\":\"";
+          append_json_escaped(line, spec->name);
+          line += "\",\"point\":\"";
+          append_json_escaped(line, r.point.canonical());
+          line += "\",\"cycles\":" + std::to_string(r.report.core.cycles);
+          char buf[64];
+          std::snprintf(buf, sizeof buf, ",\"sample_error\":%.17g",
+                        r.report.sample_error);
+          line += buf;
+          std::snprintf(buf, sizeof buf, ",\"sampled_fraction\":%.17g",
+                        r.report.sampled_fraction);
+          line += buf;
+          line += "}\n";
+        }
+      }
       // Serialize each format at most once, shared between stdout and --out.
       const std::string json =
           opt.format == "json" || !opt.out_dir.empty() ? to_json(out) : std::string();
@@ -580,10 +662,11 @@ int main(int argc, char** argv) {
       if (!opt.quiet) {
         std::fprintf(stderr,
                      "%s: %zu points, %zu cached, %zu resumed, %zu failed "
-                     "(%zu timeout), %zu retried, %zu corrupt-cache, %.2fs (jobs=%u)\n",
+                     "(%zu timeout), %zu retried, %zu corrupt-cache, "
+                     "%zu stale-cache, %.2fs (jobs=%u)\n",
                      spec->name.c_str(), out.points.size(), out.cache_hits, out.resumed,
                      out.failures, out.timeouts, out.retries, out.cache_corrupt,
-                     out.wall_seconds, jobs);
+                     out.stale_entries, out.wall_seconds, jobs);
         if (out.executed != 0)
           std::fprintf(stderr,
                        "%s: phases over %zu executed: setup %.2fs, codegen "
@@ -593,6 +676,10 @@ int main(int argc, char** argv) {
                        out.serialize_seconds);
       }
     }
+    if (!opt.sample_report.empty() &&
+        !write_file(opt.sample_report, sample_report_lines))
+      std::fprintf(stderr, "warning: could not write --sample-report %s\n",
+                   opt.sample_report.c_str());
     // One exposition covering every sweep this invocation ran (counters
     // accumulate across experiments; gauges reflect the last one).
     if (!opt.metrics_out.empty()) {
