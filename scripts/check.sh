@@ -32,4 +32,9 @@ rm -rf build/obs_smoke
 python3 scripts/trace_summary.py build/obs_smoke/traces --quiet
 python3 scripts/metrics_lint.py build/obs_smoke/metrics.prom
 
+# Docs check: registry-vs-EXPERIMENTS.md consistency already ran as part of
+# ctest (docs_test); here, sweep every relative markdown link in the
+# top-level docs for dead targets, including ones docs_test doesn't cover.
+python3 scripts/docs_check.py
+
 echo "check.sh: all green"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Dead-link sweep over the repo's markdown docs.
+
+Checks every relative link target in README.md, CONTRIBUTING.md and
+docs/*.md (plus any extra files passed as arguments) against the working
+tree.  External links (with a scheme) and pure intra-page anchors are
+skipped.  Exit 1 with a per-link report when anything dangles.
+
+The registry-vs-docs consistency half of the docs gate (every registered
+experiment/machine/workload documented in docs/EXPERIMENTS.md) lives in
+tests/docs_test.cpp and runs under ctest; this script is the part that
+needs no build.
+"""
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+# ](target) / ](target#anchor) — skip images' extra '!' handling since the
+# path rules are identical either way.
+LINK = re.compile(r"\]\(([^)#\s]+)(#[^)]*)?\)")
+
+
+def files_to_check(extra: list[str]) -> list[str]:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    found = [
+        os.path.join(root, "README.md"),
+        os.path.join(root, "CONTRIBUTING.md"),
+        *sorted(glob.glob(os.path.join(root, "docs", "*.md"))),
+    ]
+    return [f for f in found if os.path.isfile(f)] + extra
+
+
+def main() -> int:
+    dead: list[str] = []
+    checked = 0
+    for path in files_to_check(sys.argv[1:]):
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            checked += 1
+            if not os.path.exists(os.path.join(base, target)):
+                rel = os.path.relpath(path)
+                dead.append(f"{rel}: dead link -> {target}")
+    for line in dead:
+        print(line, file=sys.stderr)
+    if dead:
+        print(f"docs_check: {len(dead)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"docs_check: {checked} relative links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

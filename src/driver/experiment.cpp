@@ -59,6 +59,8 @@ const std::map<std::string, std::string>& default_knobs() {
       {"dir_entries", "32"},   // DirectoryConfig::entries default (Table 1)
       {"prefetch", "on"},      // PrefetcherConfig::enabled default
       {"readonly_opt", "on"},  // the double store, not always-write-back
+      {"topology", "flat"},    // uncore interconnect: flat | mesh | ring
+      {"mesh_dim", "0"},       // mesh X dim (0 = near-square auto-factor)
   };
   return defaults;
 }

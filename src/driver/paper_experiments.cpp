@@ -344,26 +344,33 @@ const std::vector<std::string>& core_counts() {
   return counts;
 }
 
-/// Shared body of the core-count tables (`scaling`, `irregular`): a header
-/// over core_counts() plus one row of cycles per (kernel, machine).
-/// Aggregate cycles on a multi-tile run are the barrier time — the max
-/// over the tiles (RunReport::max_tile_cycles).  The trailing ratio
-/// column(s) are delegated to @p tail so each table keeps its own columns
-/// without duplicating the sweep walk.
+/// Core list for the mesh-topology variants.  Starts where the flat table
+/// ends: below 16 tiles a mesh is all hop latency and no contention relief.
+const std::vector<std::string>& mesh_core_counts() {
+  static const std::vector<std::string> counts = {"16", "64", "256"};
+  return counts;
+}
+
+/// Shared body of the core-count tables (`scaling`, `irregular` and their
+/// mesh variants): a header over @p cores plus one row of cycles per
+/// (kernel, machine).  Aggregate cycles on a multi-tile run are the barrier
+/// time — the max over the tiles (RunReport::max_tile_cycles).  The
+/// trailing ratio column(s) are delegated to @p tail so each table keeps
+/// its own columns without duplicating the sweep walk.
 std::string render_core_table(
     const SweepView& v, const std::vector<std::string>& kernels, const char* name_hdr,
-    int name_w, const std::string& extra_hdr,
+    int name_w, const std::vector<std::string>& cores, const std::string& extra_hdr,
     const std::function<std::string(const std::string& kernel, const std::string& machine,
                                     double first, double last)>& tail) {
   std::string os = fmt("%-*s %-16s", name_w, name_hdr, "Machine");
-  for (const std::string& c : core_counts()) os += fmt(" %12s", (c + " cores").c_str());
+  for (const std::string& c : cores) os += fmt(" %12s", (c + " cores").c_str());
   os += extra_hdr;
   for (const std::string& w : kernels) {
     for (const char* m : {"hybrid_coherent", "cache_based"}) {
       os += fmt("%-*s %-16s", name_w, w.c_str(), m);
       double first = 0.0;
       double last = 0.0;
-      for (const std::string& c : core_counts()) {
+      for (const std::string& c : cores) {
         const double cyc =
             cycles_of(v.report({{"workload", w}, {"machine", m}, {"cores", c}}));
         if (first == 0.0) first = cyc;
@@ -378,7 +385,7 @@ std::string render_core_table(
 
 std::string render_scaling(const SweepView& v) {
   std::string os = render_core_table(
-      v, nas_names(), "Bench", 6, fmt(" %9s\n", "Speedup"),
+      v, nas_names(), "Bench", 6, core_counts(), fmt(" %9s\n", "Speedup"),
       [](const std::string&, const std::string&, double first, double last) {
         return fmt(" %8.2fx\n", last > 0.0 ? first / last : 0.0);
       });
@@ -408,7 +415,8 @@ ExperimentSpec scaling_spec() {
 std::string render_irregular(const SweepView& v) {
   double hybrid1 = 0.0;  // hybrid rows precede cache rows within a kernel
   std::string os = render_core_table(
-      v, irregular_names(), "Kernel", 8, fmt(" %9s %9s\n", "Scaling", "HybSpdup"),
+      v, irregular_names(), "Kernel", 8, core_counts(),
+      fmt(" %9s %9s\n", "Scaling", "HybSpdup"),
       [&hybrid1](const std::string&, const std::string& m, double first, double last) {
         std::string tail = fmt(" %8.2fx", last > 0.0 ? first / last : 0.0);
         if (m == "hybrid_coherent") {
@@ -444,6 +452,76 @@ ExperimentSpec irregular_spec() {
   return s;
 }
 
+// ------------------------------------------------------- mesh topology ----
+
+std::string render_scaling_mesh(const SweepView& v) {
+  std::string os = render_core_table(
+      v, nas_names(), "Bench", 6, mesh_core_counts(), fmt(" %9s\n", "Speedup"),
+      [](const std::string&, const std::string&, double first, double last) {
+        return fmt(" %8.2fx\n", last > 0.0 ? first / last : 0.0);
+      });
+  os += "\nMax-tile cycles on the mesh-interconnect machine: L2/L3 sliced into\n"
+        "per-tile home nodes by address interleaving, misses traverse XY-routed\n"
+        "hops (2 cycles/hop, 16 B flits) to the home slice before booking its\n"
+        "port, DRAM channels shard by home slice.  Speedup = 16 / 256 cores.\n";
+  return os;
+}
+
+ExperimentSpec scaling_mesh_spec() {
+  ExperimentSpec s;
+  s.name = "scaling_mesh";
+  s.title = "Mesh scaling: NAS kernels at 16/64/256 cores on the sliced-LLC mesh";
+  s.artifact = "interconnect";
+  s.scale = 0.25;
+  Grid g;
+  g.base = {{"topology", "mesh"}};
+  g.axes = {{"workload", nas_names()},
+            {"machine", {"hybrid_coherent", "cache_based"}},
+            {"cores", mesh_core_counts()}};
+  s.grids = {g};
+  s.render = render_scaling_mesh;
+  return s;
+}
+
+std::string render_irregular_mesh(const SweepView& v) {
+  double hybrid_first = 0.0;
+  std::string os = render_core_table(
+      v, irregular_names(), "Kernel", 8, mesh_core_counts(),
+      fmt(" %9s %9s\n", "Scaling", "HybSpdup"),
+      [&hybrid_first](const std::string&, const std::string& m, double first, double last) {
+        std::string tail = fmt(" %8.2fx", last > 0.0 ? first / last : 0.0);
+        if (m == "hybrid_coherent") {
+          hybrid_first = first;
+        } else if (hybrid_first > 0.0) {
+          tail += fmt(" %8.2fx", first / hybrid_first);
+        }
+        tail += "\n";
+        return tail;
+      });
+  os += "\nThe irregular suite on the mesh-interconnect machine.  Scaling =\n"
+        "16-core / 256-core max-tile cycles; HybSpdup = 16-core cache-based /\n"
+        "hybrid-coherent cycles.  Gathers, scatters and chases now pay the\n"
+        "distance to the home slice of each line, so locality shows up as\n"
+        "hop-count, not just port queueing.\n";
+  return os;
+}
+
+ExperimentSpec irregular_mesh_spec() {
+  ExperimentSpec s;
+  s.name = "irregular_mesh";
+  s.title = "Mesh irregular suite: sparse/stencil/chase kernels on the sliced-LLC mesh";
+  s.artifact = "interconnect";
+  s.scale = 0.25;
+  Grid g;
+  g.base = {{"topology", "mesh"}};
+  g.axes = {{"workload", irregular_names()},
+            {"machine", {"hybrid_coherent", "cache_based"}},
+            {"cores", mesh_core_counts()}};
+  s.grids = {g};
+  s.render = render_irregular_mesh;
+  return s;
+}
+
 }  // namespace
 
 void register_paper_experiments() {
@@ -460,6 +538,8 @@ void register_paper_experiments() {
     register_experiment(ablation_prefetch_spec());
     register_experiment(scaling_spec());
     register_experiment(irregular_spec());
+    register_experiment(scaling_mesh_spec());
+    register_experiment(irregular_mesh_spec());
   });
 }
 

@@ -94,8 +94,25 @@ PointResult run_point(const SweepPoint& p, const EngineConfig& engine,
   cfg.hierarchy.pf_l2.enabled = prefetch;
   cfg.hierarchy.pf_l3.enabled = prefetch;
   const unsigned cores = static_cast<unsigned>(std::stoul(p.knob("cores", "1")));
-  if (cores == 0 || cores > 64)
-    throw std::invalid_argument("cores knob out of range (1..64) at " + p.label);
+  if (cores == 0 || cores > 256)
+    throw std::invalid_argument("cores knob out of range (1..256) at " + p.label);
+  const std::string topology = p.knob("topology", "flat");
+  if (topology == "mesh") {
+    cfg.noc.topology = Topology::Mesh;
+  } else if (topology == "ring") {
+    cfg.noc.topology = Topology::Ring;
+  } else if (topology != "flat") {
+    throw std::invalid_argument("unknown topology knob '" + topology + "' at " + p.label);
+  }
+  const unsigned mesh_dim = static_cast<unsigned>(std::stoul(p.knob("mesh_dim", "0")));
+  if (mesh_dim != 0) {
+    if (cfg.noc.topology != Topology::Mesh)
+      throw std::invalid_argument("mesh_dim requires topology=mesh at " + p.label);
+    if (cores % mesh_dim != 0)
+      throw std::invalid_argument("mesh_dim does not divide cores at " + p.label);
+    cfg.noc.mesh_x = mesh_dim;
+    cfg.noc.mesh_y = cores / mesh_dim;
+  }
 
   if (p.workload == "micro") {
     if (cores != 1)
@@ -315,6 +332,10 @@ struct SweepMetrics {
   obs::Histogram& tile_skew = reg().histogram("hm_tile_skew_cycles", "", {});
   obs::Histogram& sampled_fraction = reg().histogram("hm_sampled_fraction", "", {});
   obs::Histogram& sample_error = reg().histogram("hm_sample_error", "", {});
+  obs::Counter& noc_msgs = reg().counter("hm_noc_messages_total", "");
+  obs::Counter& noc_hops = reg().counter("hm_noc_hops_total", "");
+  obs::Counter& noc_flits = reg().counter("hm_noc_flits_total", "");
+  obs::Counter& noc_queue = reg().counter("hm_noc_link_queue_cycles_total", "");
 
  private:
   static obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
@@ -377,7 +398,22 @@ void write_profile_json(const std::string& path, const SweepOutcome& out) {
 
 SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<SweepPoint> points = expand(spec, opt.scale_override);
+  std::vector<SweepPoint> points = expand(spec, opt.scale_override);
+  if (!opt.knob_overrides.empty()) {
+    // Machine-changing overrides (topology, mesh_dim, ...) enter the knob
+    // map — and with it the canonical identity — exactly like a grid axis
+    // would; values equal to the canonical default are elided so a
+    // `--topology flat` invocation stays byte-identical to no flag at all.
+    const auto& defaults = default_knobs();
+    for (SweepPoint& p : points)
+      for (const auto& [k, v] : opt.knob_overrides) {
+        const auto d = defaults.find(k);
+        if (d != defaults.end() && d->second == v)
+          p.knobs.erase(k);
+        else
+          p.knobs[k] = v;
+      }
+  }
 
   SweepOutcome out;
   out.spec = &spec;
@@ -549,7 +585,15 @@ SweepOutcome run_sweep(const ExperimentSpec& spec, const SweepOptions& opt) {
         }
         mx.occ_delay.inc(static_cast<double>(
             r.report.l2_port.queue_cycles + r.report.l3_port.queue_cycles +
-            r.report.dram.queue_cycles + r.report.dma_bus.queue_cycles));
+            r.report.dram.queue_cycles + r.report.dma_bus.queue_cycles +
+            r.report.noc_links.queue_cycles));
+        if (r.report.noc_nodes != 0) {
+          mx.noc_msgs.inc(static_cast<double>(r.report.noc_msgs));
+          mx.noc_hops.inc(static_cast<double>(r.report.noc_hops));
+          mx.noc_flits.inc(static_cast<double>(r.report.noc_flits));
+          mx.noc_queue.inc(
+              static_cast<double>(r.report.noc_links.queue_cycles));
+        }
 
         if (sweep_trace) {
           // Scheduler job lifecycle: one span per point on this worker's

@@ -50,6 +50,13 @@ struct SweepOptions {
   std::string cache_dir;                 ///< on-disk memo cache; "" = off
   RunCache* session_cache = nullptr;     ///< cross-experiment in-memory cache
   std::optional<double> scale_override;  ///< quick-look rescale (not the paper tables)
+  /// Knob overrides applied to every expanded point (e.g. hm_sweep
+  /// --topology / --mesh-dim).  Unlike engine knobs these CHANGE the
+  /// simulated machine, so they enter the canonical point identity: a
+  /// value equal to default_knobs() is elided (identity unchanged — the
+  /// flat default stays byte-identical), anything else is recorded in the
+  /// point's knob map and therefore in cache/journal keys.
+  std::map<std::string, std::string> knob_overrides;
   std::function<void(std::size_t done, std::size_t total)> progress;
 
   /// Parallel multi-tile engine for every executed point (see

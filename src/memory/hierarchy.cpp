@@ -39,6 +39,7 @@ MemoryHierarchy::MemoryHierarchy(HierarchyConfig cfg, Uncore* shared)
       pf_l3_(uncore_.pf_l3()),
       l2_port_(uncore_.l2_port()),
       l3_port_(uncore_.l3_port()),
+      noc_(uncore_.noc()),
       stats_("hierarchy") {
   port_id_ = uncore_.register_l1(&l1d_);
   stats_.bind("loads", &hot_.loads);
@@ -65,14 +66,32 @@ void MemoryHierarchy::commit(const Scratch& sc) {
   hot_.l3_queue_cycles += sc.l3_queue;
 }
 
-Cycle MemoryHierarchy::book_l2(Cycle when, Scratch& sc) {
-  const Cycle start = l2_port_.book(when);
-  if (start > when) sc.l2_queue += start - when;
+Cycle MemoryHierarchy::book_l2(Cycle when, Addr addr, Scratch& sc) {
+  if (noc_ == nullptr) {
+    const Cycle start = l2_port_.book(when);
+    if (start > when) sc.l2_queue += start - when;
+    return start;
+  }
+  // Sliced LLC: one request flit travels to the line's home node (booking
+  // every link on the deterministic route), then books that slice's
+  // private port.  Transit is latency, not queueing — only the push-back
+  // at the slice port lands in l2_queue.
+  const Cycle arrive = noc_->traverse(port_id_, uncore_.home_of(addr), when, 1);
+  const Cycle start = uncore_.slice_l2_port(uncore_.home_of(addr)).book(arrive);
+  if (start > arrive) sc.l2_queue += start - arrive;
   return start;
 }
 
-Cycle MemoryHierarchy::book_l3(Cycle when, Scratch& sc) {
-  const Cycle start = l3_port_.book(when);
+Cycle MemoryHierarchy::book_l3(Cycle when, Addr addr, Scratch& sc) {
+  if (noc_ == nullptr) {
+    const Cycle start = l3_port_.book(when);
+    if (start > when) sc.l3_queue += start - when;
+    return start;
+  }
+  // The L3 slice shares the L2 slice's home node (both are interleaved by
+  // the same function), so an L2-miss -> L3 lookup pays no extra hops —
+  // just this slice's L3 port.
+  const Cycle start = uncore_.slice_l3_port(uncore_.home_of(addr)).book(when);
   if (start > when) sc.l3_queue += start - when;
   return start;
 }
@@ -80,7 +99,7 @@ Cycle MemoryHierarchy::book_l3(Cycle when, Scratch& sc) {
 void MemoryHierarchy::handle_l3_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
   if (!v.dirty) return;
   sc.bus_l3_mem++;
-  mem_.access(now, AccessType::Write);
+  mem_access(now, v.line_addr, AccessType::Write);
 }
 
 void MemoryHierarchy::handle_l2_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
@@ -98,12 +117,14 @@ void MemoryHierarchy::fetch_below_l2(Cycle now, Addr line,
                                      const SetAssocCache::LookupResult& l2_miss, Scratch& sc) {
   // Bring a line into L2 from L3 or memory.  The fill is off the critical
   // path latency-wise but consumes L2 bandwidth (prefetch pollution cost).
-  book_l2(now, sc);
+  // Under a NoC the line lands at its home slice — no response leg; the
+  // consumer's later demand miss pays the network crossing.
+  book_l2(now, line, sc);
   sc.bus_l2_l3++;
   const auto l3r = l3_.access(line, AccessType::Read);
   if (!l3r.hit) {
     sc.bus_l3_mem++;
-    mem_.access(now, AccessType::Read);
+    mem_access(now, line, AccessType::Read);
     if (auto v = l3_.fill_at(l3r, line)) handle_l3_victim(now, *v, sc);
   }
   if (auto v = l2_.fill_at(l2_miss, line, /*from_prefetch=*/true)) handle_l2_victim(now, *v, sc);
@@ -124,6 +145,9 @@ void MemoryHierarchy::run_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& 
       UncoreGuard lock(uncore_);
       const auto p2 = l2_.peek(line);
       if (!p2.hit) fetch_below_l2(now, line, p2, sc);
+      // An L1 prefetch pulls the line across the NoC to this tile: book
+      // the response leg (identity when flat).
+      noc_response(now, line);
     }
     if (auto v = l1d_.fill_at(p1, line, /*from_prefetch=*/true); v && v->dirty) {
       // L1 is write-through: victims are never dirty.  Kept for generality
@@ -131,6 +155,7 @@ void MemoryHierarchy::run_prefetches_l1(Cycle now, Addr pc, Addr addr, Scratch& 
       UncoreGuard lock(uncore_);
       handle_l2_victim(now, *v, sc);
     }
+    note_l1_fill(line);
   }
 }
 
@@ -147,15 +172,16 @@ void MemoryHierarchy::run_prefetches_l3(Cycle now, Addr pc, Addr addr, Scratch& 
     const auto p = l3_.peek(line);
     if (p.hit) continue;
     sc.bus_l3_mem++;
-    mem_.access(now, AccessType::Read);
+    mem_access(now, line, AccessType::Read);
     if (auto v = l3_.fill_at(p, line, /*from_prefetch=*/true)) handle_l3_victim(now, *v, sc);
   }
 }
 
 Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& served,
                                        Scratch& sc, SetAssocCache::LookupResult* l2_loc) {
-  // L1 missed; look in L2 (booking an L2 port slot).
-  const Cycle l2_start = book_l2(now, sc);
+  // L1 missed; look in L2 (booking an L2 port slot — under a NoC this
+  // first traverses to the line's home slice).
+  const Cycle l2_start = book_l2(now, addr, sc);
   Cycle lat = (l2_start - now) + cfg_.l2.latency;
   sc.bus_l1_l2++;
   run_prefetches_l2(now, pc, addr, sc);  // L2 prefetcher trains on L1 misses
@@ -163,21 +189,22 @@ Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& 
   if (l2r.hit) {
     if (l2_loc) *l2_loc = l2r;
     served = ServedBy::CacheL2;
-    return lat;
+    return noc_response(now + lat, addr) - now;
   }
 
   // L2 missed; look in L3 (booking an L3 port slot).  l2r's victim slot
   // stays valid through the L3/memory traffic below: nothing touches L2
   // until the fill_at on the way back up.
-  const Cycle l3_start = book_l3(now + lat, sc);
+  const Cycle l3_start = book_l3(now + lat, addr, sc);
   lat = (l3_start - now) + cfg_.l3.latency;
   sc.bus_l2_l3++;
   run_prefetches_l3(now, pc, addr, sc);
   const auto l3r = l3_.access(addr, AccessType::Read);
   if (!l3r.hit) {
-    // L3 missed: fetch the line from main memory.
+    // L3 missed: fetch the line from main memory (the home slice's DRAM
+    // channel under a NoC).
     sc.bus_l3_mem++;
-    const Cycle mem_done = mem_.access(now + lat, AccessType::Read);
+    const Cycle mem_done = mem_access(now + lat, addr, AccessType::Read);
     lat = (mem_done - now);
     if (auto v = l3_.fill_at(l3r, addr)) handle_l3_victim(now, *v, sc);
     served = ServedBy::MainMemory;
@@ -188,7 +215,9 @@ Cycle MemoryHierarchy::fill_from_below(Cycle now, Addr addr, Addr pc, ServedBy& 
   // Allocate the line in L2 on the way back up.
   if (auto v = l2_.fill_at(l2r, addr)) handle_l2_victim(now, *v, sc);
   if (l2_loc) *l2_loc = l2r;
-  return lat;
+  // NoC response leg: the line travels home -> requesting tile (identity
+  // when flat: returns now + lat unchanged).
+  return noc_response(now + lat, addr) - now;
 }
 
 Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc) {
@@ -208,7 +237,7 @@ Cycle MemoryHierarchy::wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc) {
   Cycle drain;
   UncoreGuard lock(uncore_);
   if (l2_.access(addr, AccessType::Write).hit) {
-    drain = book_l2(now, sc) + cfg_.l2.latency;
+    drain = book_l2(now, addr, sc) + cfg_.l2.latency;
   } else {
     ServedBy served = ServedBy::CacheL2;
     SetAssocCache::LookupResult l2_loc;
@@ -274,6 +303,7 @@ AccessResult MemoryHierarchy::access(Cycle now, Addr addr, AccessType type, Addr
       UncoreGuard lock(uncore_);
       handle_l2_victim(now, *v, sc);
     }
+    note_l1_fill(addr);
     if (type == AccessType::Write) l1d_.set_dirty_at(l1r);
 
     r.served_by = served;
@@ -302,7 +332,7 @@ AccessResult MemoryHierarchy::access(Cycle now, Addr addr, AccessType type, Addr
 void MemoryHierarchy::functional_l3_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
   if (!v.dirty) return;
   sc.bus_l3_mem++;
-  mem_.count_access(now, AccessType::Write);
+  mem_count_access(now, v.line_addr, AccessType::Write);
 }
 
 void MemoryHierarchy::functional_l2_victim(Cycle now, const EvictedLine& v, Scratch& sc) {
@@ -317,12 +347,12 @@ void MemoryHierarchy::functional_l2_victim(Cycle now, const EvictedLine& v, Scra
 void MemoryHierarchy::functional_fetch_below_l2(Cycle now, Addr line,
                                                 const SetAssocCache::LookupResult& l2_miss,
                                                 Scratch& sc) {
-  book_l2(now, sc);
+  book_l2(now, line, sc);
   sc.bus_l2_l3++;
   const auto l3r = l3_.access(line, AccessType::Read);
   if (!l3r.hit) {
     sc.bus_l3_mem++;
-    mem_.count_access(now, AccessType::Read);
+    mem_count_access(now, line, AccessType::Read);
     if (auto v = l3_.fill_at(l3r, line)) functional_l3_victim(now, *v, sc);
   }
   if (auto v = l2_.fill_at(l2_miss, line, /*from_prefetch=*/true)) functional_l2_victim(now, *v, sc);
@@ -335,9 +365,11 @@ void MemoryHierarchy::functional_prefetches_l1(Cycle now, Addr pc, Addr addr, Sc
     sc.bus_l1_l2++;
     const auto p2 = l2_.peek(line);
     if (!p2.hit) functional_fetch_below_l2(now, line, p2, sc);
+    noc_response(now, line);
     if (auto v = l1d_.fill_at(p1, line, /*from_prefetch=*/true); v && v->dirty) {
       functional_l2_victim(now, *v, sc);
     }
+    note_l1_fill(line);
   }
 }
 
@@ -354,36 +386,36 @@ void MemoryHierarchy::functional_prefetches_l3(Cycle now, Addr pc, Addr addr, Sc
     const auto p = l3_.peek(line);
     if (p.hit) continue;
     sc.bus_l3_mem++;
-    mem_.count_access(now, AccessType::Read);
+    mem_count_access(now, line, AccessType::Read);
     if (auto v = l3_.fill_at(p, line, /*from_prefetch=*/true)) functional_l3_victim(now, *v, sc);
   }
 }
 
 Cycle MemoryHierarchy::functional_fill_from_below(Cycle now, Addr addr, Addr pc, Scratch& sc,
                                                   SetAssocCache::LookupResult* l2_loc) {
-  const Cycle l2_start = book_l2(now, sc);
+  const Cycle l2_start = book_l2(now, addr, sc);
   Cycle lat = (l2_start - now) + cfg_.l2.latency;
   sc.bus_l1_l2++;
   functional_prefetches_l2(now, pc, addr, sc);
   const auto l2r = l2_.access(addr, AccessType::Read);
   if (l2r.hit) {
     if (l2_loc) *l2_loc = l2r;
-    return lat;
+    return noc_response(now + lat, addr) - now;
   }
-  const Cycle l3_start = book_l3(now + lat, sc);
+  const Cycle l3_start = book_l3(now + lat, addr, sc);
   lat = (l3_start - now) + cfg_.l3.latency;
   sc.bus_l2_l3++;
   functional_prefetches_l3(now, pc, addr, sc);
   const auto l3r = l3_.access(addr, AccessType::Read);
   if (!l3r.hit) {
     sc.bus_l3_mem++;
-    const Cycle mem_done = mem_.count_access(now + lat, AccessType::Read);
+    const Cycle mem_done = mem_count_access(now + lat, addr, AccessType::Read);
     lat = mem_done - now;
     if (auto v = l3_.fill_at(l3r, addr)) functional_l3_victim(now, *v, sc);
   }
   if (auto v = l2_.fill_at(l2r, addr)) functional_l2_victim(now, *v, sc);
   if (l2_loc) *l2_loc = l2r;
-  return lat;
+  return noc_response(now + lat, addr) - now;
 }
 
 Cycle MemoryHierarchy::functional_wt_store(Cycle now, Addr addr, Addr pc, Scratch& sc) {
@@ -397,7 +429,7 @@ Cycle MemoryHierarchy::functional_wt_store(Cycle now, Addr addr, Addr pc, Scratc
   sc.bus_l1_l2++;
   Cycle drain;
   if (l2_.access(addr, AccessType::Write).hit) {
-    drain = book_l2(now, sc) + cfg_.l2.latency;
+    drain = book_l2(now, addr, sc) + cfg_.l2.latency;
   } else {
     SetAssocCache::LookupResult l2_loc;
     drain = now + functional_fill_from_below(now, addr, pc, sc, &l2_loc);
@@ -431,6 +463,7 @@ Cycle MemoryHierarchy::functional_access(Cycle now, Addr addr, AccessType type, 
   } else {
     complete = now + l1_lat + functional_fill_from_below(now, addr, pc, sc);
     if (auto v = l1d_.fill_at(l1r, addr); v && v->dirty) functional_l2_victim(now, *v, sc);
+    note_l1_fill(addr);
     if (type == AccessType::Write) l1d_.set_dirty_at(l1r);
   }
   commit(sc);
@@ -446,7 +479,7 @@ Cycle MemoryHierarchy::dma_read_line(Cycle now, Addr line_addr) {
   // the line (the SM is internally coherent so any resident copy is valid),
   // otherwise the uncore serves it from L2/L3/memory.
   if (l1d_.probe(line_addr)) return now + cfg_.l1d.latency;
-  return uncore_.dma_get_line(now, line_addr);
+  return uncore_.dma_get_line(now, line_addr, port_id_);
 }
 
 Cycle MemoryHierarchy::dma_write_line(Cycle now, Addr line_addr) {

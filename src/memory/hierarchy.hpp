@@ -96,7 +96,7 @@ class MemoryHierarchy {
   /// cycles from @p ready (see Uncore::dma_bus_grant).  Equals @p ready on
   /// a single-tile machine.
   Cycle dma_bus_grant(Cycle ready, Cycle len) {
-    return uncore_.dma_bus_grant(ready, len);
+    return uncore_.dma_bus_grant(ready, len, port_id_);
   }
 
   /// Drop all cache contents and in-flight state.  A standalone hierarchy
@@ -196,12 +196,36 @@ class MemoryHierarchy {
   void fetch_below_l2(Cycle now, Addr line, const SetAssocCache::LookupResult& l2_miss,
                       Scratch& sc);
 
-  /// Book one L2 (resp. L3) port slot at or after @p when; returns the start
-  /// cycle.  Models finite cache bandwidth — the port resource is shared
-  /// across all tiles of the machine (uncore port arbitration) and booked
-  /// over the full run, so cross-tile contention never falls off a window.
-  Cycle book_l2(Cycle when, Scratch& sc);
-  Cycle book_l3(Cycle when, Scratch& sc);
+  /// Book one L2 (resp. L3) port slot for @p addr at or after @p when;
+  /// returns the start cycle.  Models finite cache bandwidth — the port
+  /// resource is shared across all tiles of the machine (uncore port
+  /// arbitration) and booked over the full run, so cross-tile contention
+  /// never falls off a window.  With a NoC the request first traverses the
+  /// network to @p addr's home slice (booking every link) and the slot is
+  /// booked on that slice's private port; flat machines ignore @p addr.
+  Cycle book_l2(Cycle when, Addr addr, Scratch& sc);
+  Cycle book_l3(Cycle when, Addr addr, Scratch& sc);
+
+  /// DRAM access for @p line routed to its home channel (channel 0 flat).
+  Cycle mem_access(Cycle when, Addr line, AccessType type) {
+    return mem_.access(when, type, uncore_.dram_channel_of(line));
+  }
+  Cycle mem_count_access(Cycle when, Addr line, AccessType type) {
+    return mem_.count_access(when, type, uncore_.dram_channel_of(line));
+  }
+
+  /// NoC response leg: the line travels home slice -> this tile, data
+  /// ready at @p ready.  Identity when flat.
+  Cycle noc_response(Cycle ready, Addr addr) {
+    if (noc_ == nullptr) return ready;
+    return noc_->traverse(uncore_.home_of(addr), port_id_, ready,
+                          noc_->flits_for(cfg_.l1d.line_size));
+  }
+
+  /// Sharer-filter hook for L1 fills (no-op when flat).
+  void note_l1_fill(Addr addr) {
+    if (noc_ != nullptr) [[unlikely]] uncore_.note_l1_fill(port_id_, l1d_.line_base(addr));
+  }
 
   /// Write-combining buffer for write-through stores: stores to a line with
   /// a pending write merge into it instead of consuming another L2 slot.
@@ -250,6 +274,7 @@ class MemoryHierarchy {
   StreamPrefetcher& pf_l3_;
   SharedResource& l2_port_;
   SharedResource& l3_port_;
+  Noc* noc_;  ///< the machine's interconnect; null = flat arbiter
   struct WcbEntry {
     Addr line = kNoAddr;
     Cycle drain = 0;

@@ -1,8 +1,17 @@
 // Flat DRAM model: fixed access latency plus a simple bandwidth/bank-conflict
 // approximation (consecutive accesses closer than `gap` cycles queue up).
+//
+// With a NoC-sliced uncore the memory grows extra channels (set_channels):
+// home slice s drains through channel s % channels, each an independent
+// occupancy timeline with the same gap.  Channel 0 IS the historical
+// "dram" port — its statistics stay bound into the StatGroup under the
+// historical bare field names — so a single-channel (flat) machine is
+// byte-identical to the pre-channel model.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/occupancy.hpp"
 #include "common/stats.hpp"
@@ -32,10 +41,10 @@ class MainMemory {
   /// request may start per `gap` cycles, booked over the full run with
   /// out-of-order slot filling (on a multi-tile machine every tile books
   /// against the same timeline, so cross-tile DRAM contention is exact).
-  Cycle access(Cycle now, AccessType type) {
+  Cycle access(Cycle now, AccessType type, unsigned channel = 0) {
     accesses_->inc();
     (type == AccessType::Read ? reads_ : writes_)->inc();
-    return port_.book(now) + cfg_.latency;
+    return channel_port(channel).book(now) + cfg_.latency;
   }
 
   /// Access for the functional (sampled fast-forward) executor.  Identical
@@ -46,19 +55,60 @@ class MainMemory {
   /// back-pressure.  Kept as a separate entry point so the functional call
   /// sites stay greppable and the contract (content + contention, no MSHRs)
   /// is documented in one place.
-  Cycle count_access(Cycle now, AccessType type) { return access(now, type); }
+  Cycle count_access(Cycle now, AccessType type, unsigned channel = 0) {
+    return access(now, type, channel);
+  }
 
-  void reset(Cycle now = 0) { (void)now; port_.reset(); }
+  /// Grow to @p n independent channels (NoC-sliced uncore).  Channel 0 is
+  /// the existing "dram" port; channels 1..n-1 get their own timelines and
+  /// contention counters ("dram_ch<k>", aggregated at report time, not
+  /// bound into the StatGroup).  Call before the run; shrinking is not
+  /// supported.
+  void set_channels(unsigned n) {
+    while (1 + extra_.size() < n)
+      extra_.push_back(std::make_unique<SharedResource>(
+          "dram_ch" + std::to_string(extra_.size() + 1), cfg_.gap));
+  }
+  unsigned channels() const { return 1 + static_cast<unsigned>(extra_.size()); }
+
+  /// Contention summed over all channels (the RunReport "dram" section);
+  /// equals port().contention() on a single-channel machine.
+  SharedResource::Contention aggregate_contention() const {
+    SharedResource::Contention agg = port_.contention();
+    for (const auto& c : extra_) {
+      const SharedResource::Contention& e = c->contention();
+      agg.requests += e.requests;
+      agg.delayed += e.delayed;
+      agg.queue_cycles += e.queue_cycles;
+      agg.overflows += e.overflows;
+      if (e.peak_occupancy > agg.peak_occupancy) agg.peak_occupancy = e.peak_occupancy;
+    }
+    return agg;
+  }
+
+  void reset(Cycle now = 0) {
+    (void)now;
+    port_.reset();
+    for (const auto& c : extra_) c->reset();
+  }
+
+  void reset_channel_stats() {
+    for (const auto& c : extra_) c->reset_stats();
+  }
 
   const MainMemoryConfig& config() const { return cfg_; }
   SharedResource& port() { return port_; }
   const SharedResource& port() const { return port_; }
+  SharedResource& channel_port(unsigned channel) {
+    return channel == 0 ? port_ : *extra_[channel - 1];
+  }
   StatGroup& stats() { return stats_; }
   const StatGroup& stats() const { return stats_; }
 
  private:
   MainMemoryConfig cfg_;
-  SharedResource port_;
+  SharedResource port_;  ///< channel 0; historical stats shape
+  std::vector<std::unique_ptr<SharedResource>> extra_;  ///< channels 1..n-1
   StatGroup stats_;
   Counter* accesses_;
   Counter* reads_;

@@ -1,10 +1,15 @@
 #include "memory/uncore.hpp"
 
+#include <bit>
+#include <stdexcept>
+
 #include "obs/trace.hpp"
 
 namespace hm {
 
-Uncore::Uncore(const HierarchyConfig& cfg)
+Uncore::Uncore(const HierarchyConfig& cfg) : Uncore(cfg, NocConfig{}, 1) {}
+
+Uncore::Uncore(const HierarchyConfig& cfg, const NocConfig& noc, unsigned n_tiles)
     : cfg_(cfg),
       l2_(cfg_.l2),
       l3_(cfg_.l3),
@@ -21,6 +26,32 @@ Uncore::Uncore(const HierarchyConfig& cfg)
   l3_port_.bind_into(stats_, "l3_port");
   dma_bus_.bind_into(stats_, "dma_bus");
   dma_invalidate_broadcasts_ = &stats_.counter("dma_invalidate_broadcasts");
+
+  if (noc.active()) {
+    if (n_tiles == 0 || n_tiles > SharerFilter::kMaxTiles)
+      throw std::invalid_argument("NoC tile count out of range (1..256)");
+    noc_ = std::make_unique<Noc>(noc, n_tiles);
+    n_slices_ = n_tiles;
+    line_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.l2.line_size));
+    line_flits_ = noc_->flits_for(cfg_.l2.line_size);
+    mem_.set_channels(noc.channels_for(n_tiles));
+    sharers_ = std::make_unique<SharerFilter>(n_tiles, line_shift_);
+    // Per-slice ports keep the flat gaps: slicing divides the request
+    // stream, it does not change a single slice's service rate.  The slice
+    // resources are NOT bound into stats_ — at 256 slices that would drown
+    // the group — and are aggregated by the *_contention() accessors.
+    slice_l2_ports_.reserve(n_tiles);
+    slice_l3_ports_.reserve(n_tiles);
+    dma_inj_.reserve(n_tiles);
+    for (unsigned s = 0; s < n_tiles; ++s) {
+      slice_l2_ports_.push_back(
+          std::make_unique<SharedResource>("l2_port_s" + std::to_string(s), cfg_.l2_gap));
+      slice_l3_ports_.push_back(
+          std::make_unique<SharedResource>("l3_port_s" + std::to_string(s), cfg_.l3_gap));
+      dma_inj_.push_back(
+          std::make_unique<SharedResource>("dma_inj" + std::to_string(s), Cycle{1}));
+    }
+  }
 }
 
 unsigned Uncore::register_l1(SetAssocCache* l1) {
@@ -43,11 +74,28 @@ void Uncore::drain_pending_invalidations(unsigned port) {
   q.count.store(0, std::memory_order_relaxed);
 }
 
-Cycle Uncore::dma_get_line(Cycle now, Addr line_addr) {
+void Uncore::queue_pending_inval(unsigned port, Addr line_addr) {
+  PendingInval& q = *pending_[port];
+  std::lock_guard<std::mutex> qlk(q.mu);
+  q.lines.push_back(line_addr);
+  q.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Cycle Uncore::dma_get_line(Cycle now, Addr line_addr, unsigned initiator_port) {
   std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
   if (engine_locking_) lk.lock();
   // The initiating tile already snooped its own L1; the SM is internally
   // coherent, so any resident copy in the shared levels is valid.
+  if (noc_ != nullptr) [[unlikely]] {
+    const unsigned src = initiator_port == kNoPort ? 0 : initiator_port;
+    const unsigned home = home_of(line_addr);
+    const Cycle arrive = noc_->traverse(src, home, now, 1);
+    Cycle data;
+    if (l2_.probe(line_addr)) data = arrive + cfg_.l2.latency;
+    else if (l3_.probe(line_addr)) data = arrive + cfg_.l3.latency;
+    else data = mem_.access(arrive, AccessType::Read, dram_channel_of(line_addr));
+    return noc_->traverse(home, src, data, line_flits_);
+  }
   if (l2_.probe(line_addr)) return now + cfg_.l2.latency;
   if (l3_.probe(line_addr)) return now + cfg_.l3.latency;
   return mem_.access(now, AccessType::Read);
@@ -59,29 +107,112 @@ Cycle Uncore::dma_put_line(Cycle now, Addr line_addr, unsigned initiator_port) {
   // see §3.4.2).  The invalidation is broadcast to every tile's L1: a chunk
   // written back by tile A's DMAC kills stale copies tile B may hold.
   std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
+  if (engine_locking_) lk.lock();
+
+  if (noc_ != nullptr) [[unlikely]] {
+    // Sliced path: the line travels to its home node, whose sharer filter
+    // decides between targeted invalidations (one header flit to each
+    // recorded sharer) and the conservative broadcast for untracked lines.
+    // Invalidation messages book link occupancy but the put's completion
+    // is the home-channel DRAM write — puts are posted, invalidations ride
+    // behind.
+    const unsigned src = initiator_port == kNoPort ? 0 : initiator_port;
+    const unsigned home = home_of(line_addr);
+    const Cycle arrive = noc_->traverse(src, home, now, line_flits_);
+    const SharerFilter::Lookup f = sharers_->invalidate(home, line_addr);
+    if (f.tracked) {
+      ++noc_dir_filtered_;
+      for (unsigned w = 0; w < f.mask.size(); ++w) {
+        std::uint64_t bits = f.mask[w];
+        while (bits != 0) {
+          const unsigned t = (w << 6) + static_cast<unsigned>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (t >= l1s_.size()) continue;
+          noc_->traverse(home, t, arrive, 1);
+          if (engine_locking_ && initiator_port != kNoPort && t != initiator_port)
+            queue_pending_inval(t, line_addr);
+          else
+            l1s_[t]->invalidate(line_addr);
+          if (t != src) dma_invalidate_broadcasts_->inc();
+        }
+      }
+    } else {
+      // Untracked line: fall back to the full broadcast (modeled as a
+      // dedicated invalidation tree — counted, but not booked per link).
+      ++noc_dir_broadcasts_;
+      for (unsigned p = 0; p < l1s_.size(); ++p) {
+        if (engine_locking_ && initiator_port != kNoPort && p != initiator_port)
+          queue_pending_inval(p, line_addr);
+        else
+          l1s_[p]->invalidate(line_addr);
+      }
+      if (l1s_.size() > 1) dma_invalidate_broadcasts_->inc(l1s_.size() - 1);
+    }
+    l2_.invalidate(line_addr);
+    l3_.invalidate(line_addr);
+    return mem_.access(arrive, AccessType::Write, dram_channel_of(line_addr));
+  }
+
   if (engine_locking_ && initiator_port != kNoPort) {
     // Remote L1s belong to other tile threads: queue their invalidations
     // (drained at the owner's next access) and touch only the initiator's
     // L1 and the engine-locked shared levels here.
-    lk.lock();
     for (unsigned p = 0; p < l1s_.size(); ++p) {
       if (p == initiator_port) {
         l1s_[p]->invalidate(line_addr);
         continue;
       }
-      PendingInval& q = *pending_[p];
-      std::lock_guard<std::mutex> qlk(q.mu);
-      q.lines.push_back(line_addr);
-      q.count.fetch_add(1, std::memory_order_relaxed);
+      queue_pending_inval(p, line_addr);
     }
   } else {
-    if (engine_locking_) lk.lock();
     for (SetAssocCache* l1 : l1s_) l1->invalidate(line_addr);
   }
   if (l1s_.size() > 1) dma_invalidate_broadcasts_->inc(l1s_.size() - 1);
   l2_.invalidate(line_addr);
   l3_.invalidate(line_addr);
   return mem_.access(now, AccessType::Write);
+}
+
+SharedResource::Contention Uncore::l2_port_contention() const {
+  if (noc_ == nullptr) return l2_port_.contention();
+  SharedResource::Contention agg;
+  for (const auto& p : slice_l2_ports_) {
+    const SharedResource::Contention& c = p->contention();
+    agg.requests += c.requests;
+    agg.delayed += c.delayed;
+    agg.queue_cycles += c.queue_cycles;
+    agg.overflows += c.overflows;
+    if (c.peak_occupancy > agg.peak_occupancy) agg.peak_occupancy = c.peak_occupancy;
+  }
+  return agg;
+}
+
+SharedResource::Contention Uncore::l3_port_contention() const {
+  if (noc_ == nullptr) return l3_port_.contention();
+  SharedResource::Contention agg;
+  for (const auto& p : slice_l3_ports_) {
+    const SharedResource::Contention& c = p->contention();
+    agg.requests += c.requests;
+    agg.delayed += c.delayed;
+    agg.queue_cycles += c.queue_cycles;
+    agg.overflows += c.overflows;
+    if (c.peak_occupancy > agg.peak_occupancy) agg.peak_occupancy = c.peak_occupancy;
+  }
+  return agg;
+}
+
+SharedResource::Contention Uncore::dma_bus_contention() const {
+  if (noc_ == nullptr) return dma_bus_.contention();
+  SharedResource::Contention agg;
+  for (const auto& p : dma_inj_) {
+    const SharedResource::Contention& c = p->contention();
+    agg.requests += c.requests;
+    agg.delayed += c.delayed;
+    agg.queue_cycles += c.queue_cycles;
+    agg.overflows += c.overflows;
+    if (c.peak_occupancy > agg.peak_occupancy) agg.peak_occupancy = c.peak_occupancy;
+  }
+  return agg;
 }
 
 void Uncore::reset() {
@@ -93,17 +224,33 @@ void Uncore::reset() {
   l2_port_.reset();
   l3_port_.reset();
   dma_bus_.reset();
+  if (noc_ != nullptr) {
+    noc_->reset();
+    for (const auto& p : slice_l2_ports_) p->reset();
+    for (const auto& p : slice_l3_ports_) p->reset();
+    for (const auto& p : dma_inj_) p->reset();
+    sharers_->reset();
+  }
 }
 
 void Uncore::emit_contention_trace(Cycle end) const {
-  const SharedResource* resources[] = {&l2_port_, &l3_port_, &mem_.port(),
-                                       &dma_bus_};
-  for (const SharedResource* r : resources) {
-    const SharedResource::Contention& c = r->contention();
-    if (c.requests == 0) continue;
-    const std::string lane = "res." + r->name();
+  const auto emit = [end](const SharedResource& r) {
+    const SharedResource::Contention& c = r.contention();
+    if (c.requests == 0) return;
+    const std::string lane = "res." + r.name();
     obs::sim_instant(lane.c_str(), "contention_summary", end, "queue_cycles",
                      static_cast<double>(c.queue_cycles));
+  };
+  const SharedResource* resources[] = {&l2_port_, &l3_port_, &mem_.port(),
+                                       &dma_bus_};
+  for (const SharedResource* r : resources) emit(*r);
+  if (noc_ != nullptr) {
+    for (const auto& p : slice_l2_ports_) emit(*p);
+    for (const auto& p : slice_l3_ports_) emit(*p);
+    for (const auto& p : dma_inj_) emit(*p);
+    for (unsigned c = 1; c < mem_.channels(); ++c)
+      emit(const_cast<MainMemory&>(mem_).channel_port(c));
+    for (const SharedResource* l : noc_->all_links()) emit(*l);
   }
 }
 
@@ -112,8 +259,17 @@ void Uncore::reset_stats() {
   l2_.stats().reset_all();
   l3_.stats().reset_all();
   mem_.stats().reset_all();
+  mem_.reset_channel_stats();
   pf_l2_.stats().reset_all();
   pf_l3_.stats().reset_all();
+  if (noc_ != nullptr) {
+    noc_->reset_stats();
+    for (const auto& p : slice_l2_ports_) p->reset_stats();
+    for (const auto& p : slice_l3_ports_) p->reset_stats();
+    for (const auto& p : dma_inj_) p->reset_stats();
+  }
+  noc_dir_filtered_ = 0;
+  noc_dir_broadcasts_ = 0;
 }
 
 }  // namespace hm

@@ -25,6 +25,18 @@
 // bit-identically to the pre-tile monolithic hierarchy (one L1 registered;
 // a lone DMAC's commands never overlap their own bus windows, so every
 // grant equals its ready cycle).
+//
+// Topology (src/noc): with an active NocConfig (mesh/ring) the flat
+// arbiter is replaced by address-interleaved home slices — one per tile.
+// Line L lives at home slice (L / line_size) % n_tiles; a miss traverses
+// the NoC from its tile to the home node, books that slice's private
+// L2/L3 port, and drains DRAM through the home's channel; the response
+// traverses back.  Cache CONTENT stays in the single shared L2/L3
+// structures (a distributed-but-unified LLC: slicing moves timing and
+// occupancy, never data), and dma-put invalidations are filtered by a
+// per-home-slice sharer directory (coherence/sharer_filter.hpp) instead
+// of broadcast.  Topology::Flat constructs none of this and keeps the
+// historical single-arbiter code paths byte-identical.
 #pragma once
 
 #include <atomic>
@@ -32,6 +44,7 @@
 #include <mutex>
 #include <vector>
 
+#include "coherence/sharer_filter.hpp"
 #include "common/occupancy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -39,6 +52,7 @@
 #include "memory/main_memory.hpp"
 #include "memory/mshr.hpp"
 #include "memory/prefetcher.hpp"
+#include "noc/noc.hpp"
 
 namespace hm {
 
@@ -71,7 +85,14 @@ struct HierarchyConfig {
 
 class Uncore {
  public:
+  /// Flat single-arbiter uncore (the historical machine).
   explicit Uncore(const HierarchyConfig& cfg);
+
+  /// Uncore for an @p n_tiles machine under @p noc.  An inactive (flat)
+  /// topology is identical to the single-argument constructor; mesh/ring
+  /// build the link graph, per-slice L2/L3 ports, per-tile DMA injection
+  /// ports, DRAM channels and the sharded sharer filter.
+  Uncore(const HierarchyConfig& cfg, const NocConfig& noc, unsigned n_tiles);
 
   // The member caches/prefetchers own StatGroups and the registered-L1 list
   // holds raw pointers; not movable, not copyable.
@@ -87,8 +108,10 @@ class Uncore {
 
   /// Coherent dma-get bus request for one line below the initiating tile's
   /// L1: read from the shared caches if the line is resident, else from
-  /// main memory.  Returns completion cycle.
-  Cycle dma_get_line(Cycle now, Addr line_addr);
+  /// main memory.  Returns completion cycle.  With a NoC the request
+  /// traverses initiator -> home slice and the line traverses back;
+  /// @p initiator_port kNoPort (standalone callers) is treated as node 0.
+  Cycle dma_get_line(Cycle now, Addr line_addr, unsigned initiator_port = ~0u);
 
   /// Coherent dma-put bus request for one line: write to main memory and
   /// invalidate the line in the shared levels and in EVERY tile's L1 —
@@ -110,9 +133,15 @@ class Uncore {
   /// since each DMAC's engine_free_ keeps its own windows disjoint for all
   /// shipped configs (per_line <= first-line latency — see lm/dmac.hpp),
   /// single-core timing is untouched.
-  Cycle dma_bus_grant(Cycle ready, Cycle len) {
+  ///
+  /// With a NoC there is no global bus: each tile books its own injection
+  /// port (@p initiator_port; cross-tile serialization comes from link,
+  /// slice-port and channel contention on the per-line operations instead).
+  Cycle dma_bus_grant(Cycle ready, Cycle len, unsigned initiator_port = ~0u) {
     std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
     if (engine_locking_) lk.lock();
+    if (noc_ != nullptr) [[unlikely]]
+      return dma_inj_[initiator_port == kNoPort ? 0 : initiator_port]->book_span(ready, len);
     return dma_bus_.book_span(ready, len);
   }
 
@@ -147,6 +176,52 @@ class Uncore {
   const SharedResource& dma_bus() const { return dma_bus_; }
 
   unsigned num_ports() const { return static_cast<unsigned>(l1s_.size()); }
+
+  // --- topology ----------------------------------------------------------
+
+  /// The interconnect, or null for the flat arbiter.
+  Noc* noc() { return noc_.get(); }
+  const Noc* noc() const { return noc_.get(); }
+
+  /// Home slice (== node id) of @p line_addr under the interleave; flat
+  /// machines have one implicit slice.
+  unsigned home_of(Addr line_addr) const {
+    return noc_ == nullptr
+               ? 0
+               : static_cast<unsigned>((line_addr >> line_shift_) % n_slices_);
+  }
+  /// DRAM channel draining @p line_addr's home slice (0 when flat).
+  unsigned dram_channel_of(Addr line_addr) const {
+    return noc_ == nullptr ? 0 : home_of(line_addr) % mem_.channels();
+  }
+
+  SharedResource& slice_l2_port(unsigned slice) { return *slice_l2_ports_[slice]; }
+  SharedResource& slice_l3_port(unsigned slice) { return *slice_l3_ports_[slice]; }
+
+  /// Sharer-filter hook: tile @p port filled @p line into its L1.  No-op
+  /// when flat.  Takes the engine mutex itself in relaxed mode (L1 fills
+  /// happen outside the miss path's engine-locked section).
+  void note_l1_fill(unsigned port, Addr line) {
+    if (noc_ == nullptr) return;
+    std::unique_lock<std::mutex> lk(engine_mu_, std::defer_lock);
+    if (engine_locking_) lk.lock();
+    sharers_->note_fill(home_of(line), line, port);
+  }
+
+  // Report-facing contention: the flat resource's counters, or the sum
+  // over slices/channels/injection ports when a NoC is active (requests/
+  // delayed/queue_cycles/overflows added, peak maxed) — so RunReport's
+  // l2_port/l3_port/dram/dma_bus sections mean "that resource class,
+  // machine-wide" under either topology.
+  SharedResource::Contention l2_port_contention() const;
+  SharedResource::Contention l3_port_contention() const;
+  SharedResource::Contention dram_contention() const { return mem_.aggregate_contention(); }
+  SharedResource::Contention dma_bus_contention() const;
+
+  /// dma-put invalidations filtered to recorded sharers / forced to
+  /// broadcast by an untracked line (NoC only; both 0 when flat).
+  std::uint64_t noc_dir_filtered() const { return noc_dir_filtered_; }
+  std::uint64_t noc_dir_broadcasts() const { return noc_dir_broadcasts_; }
 
   // --- parallel engine gate ----------------------------------------------
   // In the relaxed parallel mode, tile threads run concurrently and every
@@ -191,6 +266,10 @@ class Uncore {
     std::vector<Addr> lines;
   };
 
+  /// Queue one L1 invalidation for @p port (relaxed engine) — caller holds
+  /// the engine mutex for the shared side; the per-port queue has its own.
+  void queue_pending_inval(unsigned port, Addr line_addr);
+
   HierarchyConfig cfg_;
   SetAssocCache l2_;
   SetAssocCache l3_;
@@ -206,6 +285,18 @@ class Uncore {
   std::mutex engine_mu_;
   StatGroup stats_;
   Counter* dma_invalidate_broadcasts_;
+
+  // Topology state; all empty/null under Topology::Flat.
+  std::unique_ptr<Noc> noc_;
+  unsigned n_slices_ = 1;
+  unsigned line_shift_ = 6;   ///< log2(line size), interleave granularity
+  unsigned line_flits_ = 4;   ///< flits of one cache line on the NoC
+  std::vector<std::unique_ptr<SharedResource>> slice_l2_ports_;
+  std::vector<std::unique_ptr<SharedResource>> slice_l3_ports_;
+  std::vector<std::unique_ptr<SharedResource>> dma_inj_;  ///< per-tile DMA injection
+  std::unique_ptr<SharerFilter> sharers_;
+  std::uint64_t noc_dir_filtered_ = 0;
+  std::uint64_t noc_dir_broadcasts_ = 0;
 };
 
 }  // namespace hm

@@ -276,6 +276,16 @@ void register_builtin_metrics(MetricsRegistry& reg) {
                 "Reported relative cycle error bound per executed point "
                 "(sampled engine only)",
                 {0.0, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1});
+  reg.counter("hm_noc_messages_total",
+              "Interconnect messages traversed across executed points "
+              "(topology machines only)");
+  reg.counter("hm_noc_hops_total",
+              "Interconnect router hops across executed points");
+  reg.counter("hm_noc_flits_total",
+              "Interconnect payload flits across executed points");
+  reg.counter("hm_noc_link_queue_cycles_total",
+              "Simulated cycles messages spent queued on interconnect links "
+              "(sum over executed points)");
 }
 
 }  // namespace hm::obs

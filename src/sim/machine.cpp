@@ -59,6 +59,17 @@ std::string MachineConfig::describe() const {
      << hierarchy.pf_l1.table_entries << "-entry history tables, degree "
      << hierarchy.pf_l1.degree << ")\n";
   os << "  Main memory: " << hierarchy.mem.latency << " cycles latency\n";
+  // Interconnect lines only when a topology is active: the flat describe()
+  // text regenerates Table 1 and is golden-locked.
+  if (noc.active()) {
+    os << "  Interconnect: " << topology_name(noc.topology) << ", "
+       << noc.hop_latency << " cycles/hop, " << noc.flit_bytes << " B flits";
+    if (noc.topology == Topology::Mesh && noc.mesh_x != 0)
+      os << ", " << noc.mesh_x << "x" << noc.mesh_y << " routers";
+    os << "\n";
+    os << "  LLC slicing: address-interleaved home slices (one per tile), "
+       << "sharded DMA sharer filter\n";
+  }
   if (has_lm()) {
     os << "  Local memory: " << lm.size / 1024 << " KB, " << lm.latency << " cycles latency\n";
     os << "  DMA controller: startup " << dma.startup << " cycles, " << dma.per_line

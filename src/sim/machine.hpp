@@ -19,6 +19,7 @@
 #include "lm/dmac.hpp"
 #include "lm/local_memory.hpp"
 #include "memory/hierarchy.hpp"
+#include "noc/noc.hpp"
 
 namespace hm {
 
@@ -38,6 +39,10 @@ struct MachineConfig {
   DirectoryConfig directory{};
   DmaConfig dma{};
   EnergyParams energy{};
+  /// Interconnect topology (src/noc).  The default (flat) is the
+  /// historical single-arbiter uncore — byte-identical to every golden;
+  /// mesh/ring activate home-slice interleaving in the shared uncore.
+  NocConfig noc{};
 
   bool has_lm() const { return kind != MachineKind::CacheBased; }
   bool has_directory_hardware() const { return kind == MachineKind::HybridCoherent; }

@@ -113,6 +113,26 @@ void append_report_fields(std::string& out, const RunReport& r) {
   contention("l3_port", r.l3_port);
   contention("dram", r.dram);
   contention("dma_bus", r.dma_bus);
+  // Interconnect section, emitted only for topology machines.  Flat runs
+  // (noc_nodes == 0) skip it entirely so their serialization — and with it
+  // every existing golden and cached report — stays byte-identical.
+  if (r.noc_nodes != 0) {
+    json_kv_u64(out, "noc_nodes", r.noc_nodes);
+    json_kv_u64(out, "noc_mesh_x", r.noc_mesh_x);
+    json_kv_u64(out, "noc_mesh_y", r.noc_mesh_y);
+    json_kv_u64(out, "noc_msgs", r.noc_msgs);
+    json_kv_u64(out, "noc_hops", r.noc_hops);
+    json_kv_u64(out, "noc_flits", r.noc_flits);
+    json_kv_u64(out, "noc_dir_filtered", r.noc_dir_filtered);
+    json_kv_u64(out, "noc_dir_broadcasts", r.noc_dir_broadcasts);
+    contention("noc_links", r.noc_links);
+    json_kv_u64(out, "noc_hop_hist_len", r.noc_hop_hist.size());
+    for (std::size_t h = 0; h < r.noc_hop_hist.size(); ++h) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "noc_hop%zu", h);
+      json_kv_u64(out, key, r.noc_hop_hist[h]);
+    }
+  }
   // Per-tile sections (tile order).  The key prefix carries the tile index,
   // so the object stays flat and the emission byte-stable for identical
   // reports.
@@ -204,6 +224,25 @@ RunReport report_from_fields(const FieldMap& f) {
   contention("l3_port", r.l3_port);
   contention("dram", r.dram);
   contention("dma_bus", r.dma_bus);
+  r.noc_nodes = f_u64(f, "noc_nodes");
+  if (r.noc_nodes != 0) {
+    r.noc_mesh_x = f_u64(f, "noc_mesh_x");
+    r.noc_mesh_y = f_u64(f, "noc_mesh_y");
+    r.noc_msgs = f_u64(f, "noc_msgs");
+    r.noc_hops = f_u64(f, "noc_hops");
+    r.noc_flits = f_u64(f, "noc_flits");
+    r.noc_dir_filtered = f_u64(f, "noc_dir_filtered");
+    r.noc_dir_broadcasts = f_u64(f, "noc_dir_broadcasts");
+    contention("noc_links", r.noc_links);
+    // Cap mirrors the mesh diameter bound for the largest allowed machine.
+    const std::uint64_t hist = std::min<std::uint64_t>(f_u64(f, "noc_hop_hist_len"), 1024);
+    r.noc_hop_hist.resize(hist);
+    for (std::uint64_t h = 0; h < hist; ++h) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "noc_hop%llu", static_cast<unsigned long long>(h));
+      r.noc_hop_hist[h] = f_u64(f, key);
+    }
+  }
   // Cap against corrupt cache files; no real machine has this many tiles.
   const std::uint64_t n_tiles = std::min<std::uint64_t>(f_u64(f, "n_tiles"), 4096);
   r.tiles.resize(n_tiles);

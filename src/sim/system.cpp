@@ -67,7 +67,8 @@ void emit_slice_span(obs::TraceSink* sink, std::uint32_t lane,
 }  // namespace
 
 System::System(MachineConfig cfg, unsigned n_cores)
-    : cfg_(std::move(cfg)), uncore_(cfg_.hierarchy), energy_model_(cfg_.energy) {
+    : cfg_(std::move(cfg)), uncore_(cfg_.hierarchy, cfg_.noc, n_cores == 0 ? 1 : n_cores),
+      energy_model_(cfg_.energy) {
   if (n_cores == 0) throw std::invalid_argument("System needs at least one core");
   tiles_.reserve(n_cores);
   for (unsigned i = 0; i < n_cores; ++i) {
@@ -266,11 +267,26 @@ RunReport System::run(const std::vector<InstrStream*>& programs,
   report.energy = energy_model_.compute(total);
 
   // Shared-resource contention, machine-wide (the resources are physically
-  // shared, so there is exactly one section per resource, not per tile).
-  report.l2_port = uncore_.l2_port().contention();
-  report.l3_port = uncore_.l3_port().contention();
-  report.dram = uncore_.memory().port().contention();
-  report.dma_bus = uncore_.dma_bus().contention();
+  // shared, so there is exactly one section per resource class, not per
+  // tile).  Under a NoC the accessors aggregate over slices/channels/
+  // injection ports; flat they are exactly the single resources' counters.
+  report.l2_port = uncore_.l2_port_contention();
+  report.l3_port = uncore_.l3_port_contention();
+  report.dram = uncore_.dram_contention();
+  report.dma_bus = uncore_.dma_bus_contention();
+
+  if (const Noc* noc = uncore_.noc()) {
+    report.noc_nodes = noc->nodes();
+    report.noc_mesh_x = noc->mesh_x();
+    report.noc_mesh_y = noc->mesh_y();
+    report.noc_msgs = noc->messages();
+    report.noc_hops = noc->total_hops();
+    report.noc_flits = noc->total_flits();
+    report.noc_dir_filtered = uncore_.noc_dir_filtered();
+    report.noc_dir_broadcasts = uncore_.noc_dir_broadcasts();
+    report.noc_links = noc->link_contention();
+    report.noc_hop_hist = noc->hop_histogram();
+  }
 
   if (obs::tracing_active()) [[unlikely]]
     uncore_.emit_contention_trace(agg.cycles);

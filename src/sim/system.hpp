@@ -124,11 +124,27 @@ struct RunReport {
   std::uint64_t directory_accesses = 0;
 
   // Machine-wide shared-resource contention (full-run occupancy): the L2
-  // and L3 port pools, the DRAM channel and the DMA bus.
+  // and L3 port pools, the DRAM channel and the DMA bus.  With a NoC the
+  // port/DRAM/bus figures are summed over slices/channels/injection ports
+  // (peak maxed) — "that resource class, machine-wide".
   ResourceContention l2_port;
   ResourceContention l3_port;
   ResourceContention dram;
   ResourceContention dma_bus;
+
+  // Interconnect section, populated only when the machine has an active
+  // topology (noc_nodes > 0 is the presence marker — flat runs leave the
+  // whole section zero and it is never serialized for them).
+  std::uint64_t noc_nodes = 0;    ///< routers (== tiles); 0 = flat machine
+  std::uint64_t noc_mesh_x = 0;   ///< mesh dims (ring: n x 1)
+  std::uint64_t noc_mesh_y = 0;
+  std::uint64_t noc_msgs = 0;     ///< messages traversed
+  std::uint64_t noc_hops = 0;     ///< total hops over all messages
+  std::uint64_t noc_flits = 0;    ///< total payload flits
+  std::uint64_t noc_dir_filtered = 0;    ///< sharer-filtered dma-put invals
+  std::uint64_t noc_dir_broadcasts = 0;  ///< untracked-line broadcasts
+  ResourceContention noc_links;   ///< summed over every directed link
+  std::vector<std::uint64_t> noc_hop_hist;  ///< [h] = messages with h hops
 
   std::vector<TileReport> tiles;  ///< per-tile sections, tile order
 
@@ -151,10 +167,12 @@ struct RunReport {
   /// In-memory diagnostic — never serialized.
   double sampled_fraction = 0.0;
 
-  /// Total occupancy-horizon overflows across the four shared resources —
-  /// zero whenever the contention model covered the whole run.
+  /// Total occupancy-horizon overflows across the shared resources (NoC
+  /// links included) — zero whenever the contention model covered the
+  /// whole run.
   std::uint64_t contention_overflows() const {
-    return l2_port.overflows + l3_port.overflows + dram.overflows + dma_bus.overflows;
+    return l2_port.overflows + l3_port.overflows + dram.overflows +
+           dma_bus.overflows + noc_links.overflows;
   }
 
   Cycle cycles() const { return core.cycles; }

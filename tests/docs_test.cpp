@@ -1,0 +1,109 @@
+// Docs-vs-registry consistency: docs/EXPERIMENTS.md is the human-facing
+// catalog of everything the driver registers, so registering a new
+// experiment, machine or workload without documenting it there is a test
+// failure, not a docs drift.  Also checks that relative markdown links in
+// the top-level docs resolve to real files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "driver/registry.hpp"
+
+namespace {
+
+using namespace hm::driver;
+
+std::string source_path(const std::string& rel) {
+  return std::string(HM_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// True when @p name appears in @p text as a backtick-quoted token —
+/// the catalog's convention for registry names (`fig9`, `CG`, ...).
+bool documents(const std::string& text, const std::string& name) {
+  return text.find("`" + name + "`") != std::string::npos;
+}
+
+TEST(Docs, ExperimentsCatalogExists) {
+  ASSERT_FALSE(read_file(source_path("docs/EXPERIMENTS.md")).empty())
+      << "docs/EXPERIMENTS.md is missing";
+}
+
+TEST(Docs, EveryRegisteredExperimentIsDocumented) {
+  const std::string text = read_file(source_path("docs/EXPERIMENTS.md"));
+  ASSERT_FALSE(text.empty());
+  for (const ExperimentSpec* spec : all_experiments())
+    EXPECT_TRUE(documents(text, spec->name))
+        << "experiment '" << spec->name
+        << "' is registered but not documented in docs/EXPERIMENTS.md";
+}
+
+TEST(Docs, EveryRegisteredMachineIsDocumented) {
+  const std::string text = read_file(source_path("docs/EXPERIMENTS.md"));
+  ASSERT_FALSE(text.empty());
+  for (const std::string& m : machine_names())
+    EXPECT_TRUE(documents(text, m))
+        << "machine '" << m
+        << "' is registered but not documented in docs/EXPERIMENTS.md";
+}
+
+TEST(Docs, EveryRegisteredWorkloadIsDocumented) {
+  const std::string text = read_file(source_path("docs/EXPERIMENTS.md"));
+  ASSERT_FALSE(text.empty());
+  for (const std::string& w : workload_names())
+    EXPECT_TRUE(documents(text, w))
+        << "workload '" << w
+        << "' is registered but not documented in docs/EXPERIMENTS.md";
+}
+
+TEST(Docs, EveryExperimentGoldenTableIsNamed) {
+  // The catalog promises a golden location per experiment; hold it to
+  // that for every experiment that renders a table golden.
+  const std::string text = read_file(source_path("docs/EXPERIMENTS.md"));
+  ASSERT_FALSE(text.empty());
+  for (const ExperimentSpec* spec : all_experiments()) {
+    const std::string golden = "tests/golden/" + spec->name + ".txt";
+    if (!std::filesystem::exists(source_path(golden))) continue;
+    EXPECT_NE(text.find(golden), std::string::npos)
+        << "golden " << golden << " exists but docs/EXPERIMENTS.md"
+        << " does not point at it";
+  }
+}
+
+/// Every relative markdown link target in the top-level docs must exist.
+/// External links (scheme://) and intra-page anchors are skipped.
+TEST(Docs, RelativeLinksResolve) {
+  const std::vector<std::string> files = {
+      "README.md",        "CONTRIBUTING.md",      "docs/ARCHITECTURE.md",
+      "docs/EXPERIMENTS.md", "docs/OPERATIONS.md",
+  };
+  const std::regex link(R"(\]\(([^)#]+)(#[^)]*)?\))");
+  for (const std::string& file : files) {
+    const std::string text = read_file(source_path(file));
+    ASSERT_FALSE(text.empty()) << file << " is missing";
+    const std::filesystem::path dir =
+        std::filesystem::path(source_path(file)).parent_path();
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), link);
+         it != std::sregex_iterator(); ++it) {
+      const std::string target = (*it)[1].str();
+      if (target.find("://") != std::string::npos) continue;
+      EXPECT_TRUE(std::filesystem::exists(dir / target))
+          << file << " links to missing file '" << target << "'";
+    }
+  }
+}
+
+}  // namespace

@@ -204,4 +204,69 @@ TEST(IrregularGolden, SingleCoreReportsAreByteIdentical) {
                 "irregular-suite 1-core reports drifted");
 }
 
+// ---------------------------------------------------------------------------
+
+/// Topology captures (PR 10): full RunReport serialization — including the
+/// noc_* section — of fixed mesh and ring points.  These are NEW point
+/// identities (topology is a machine knob), so they extend the golden set
+/// without touching any flat capture.
+std::string topology_text(const hm::EngineConfig& engine = {}) {
+  std::string text;
+  const struct {
+    const char* machine;
+    const char* topology;
+    const char* cores;
+  } captures[] = {
+      {"hybrid_coherent", "mesh", "4"},
+      {"cache_based", "mesh", "4"},
+      {"hybrid_coherent", "mesh", "16"},
+      {"hybrid_coherent", "ring", "8"},
+  };
+  for (const auto& c : captures) {
+    SweepPoint p;
+    p.label = std::string("golden_topo/FT/") + c.machine + "/" + c.topology +
+              "/" + c.cores;
+    p.machine = c.machine;
+    p.workload = "FT";
+    p.scale = 0.05;
+    p.knobs["cores"] = c.cores;
+    p.knobs["topology"] = c.topology;
+    const PointResult r = run_point(p, engine);
+    if (!r.ok) return "FAILED: " + r.error;
+    text += p.label;
+    text += '\n';
+    hm::append_report_fields(text, r.report);
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(TopologyGolden, MeshAndRingReportsAreByteIdentical) {
+  const std::string got = topology_text();
+  ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
+  expect_golden("topology_reports", got,
+                "mesh/ring reports drifted from the NoC-engine capture");
+}
+
+TEST(TopologyGolden, MeshAndRingReportsAreByteIdenticalWith4TileThreads) {
+  hm::EngineConfig engine;
+  engine.tile_threads = 4;
+  const std::string got = topology_text(engine);
+  ASSERT_NE(got.rfind("FAILED:", 0), 0u) << got;
+  expect_golden("topology_reports", got,
+                "mesh/ring reports drifted under the lockstep parallel engine");
+}
+
+TEST(TopologyGolden, ScalingMeshTableIsByteIdentical) {
+  const std::string got = rendered_table("scaling_mesh");
+  ASSERT_FALSE(got.empty());
+  expect_golden("scaling_mesh", got, "scaling_mesh table drifted");
+}
+
+TEST(TopologyGolden, IrregularMeshTableIsByteIdentical) {
+  const std::string got = rendered_table("irregular_mesh");
+  ASSERT_FALSE(got.empty());
+  expect_golden("irregular_mesh", got, "irregular_mesh table drifted");
+}
+
 }  // namespace

@@ -1,0 +1,197 @@
+// NoC invariants: Manhattan routing on an idle mesh, flat vs 1x1-mesh
+// equivalence, counted-never-silent per-link overflow accounting, and
+// deterministic routing across repeated runs and lockstep tile threads.
+#include "noc/noc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "driver/result.hpp"
+#include "driver/sweep.hpp"
+#include "sim/report.hpp"
+
+namespace hm {
+namespace {
+
+NocConfig mesh_cfg() {
+  NocConfig cfg;
+  cfg.topology = Topology::Mesh;
+  return cfg;
+}
+
+TEST(Noc, MeshHopCountIsManhattanDistance) {
+  Noc noc(mesh_cfg(), 16);  // near-square auto-factor: 4x4
+  ASSERT_EQ(noc.mesh_x(), 4u);
+  ASSERT_EQ(noc.mesh_y(), 4u);
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned d = 0; d < 16; ++d) {
+      const unsigned sx = s % 4, sy = s / 4, dx = d % 4, dy = d / 4;
+      const unsigned manhattan =
+          (sx > dx ? sx - dx : dx - sx) + (sy > dy ? sy - dy : dy - sy);
+      EXPECT_EQ(noc.route_hops(s, d), manhattan) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Noc, IdleMeshTraversalIsHopsTimesHopCost) {
+  NocConfig cfg = mesh_cfg();
+  cfg.hop_latency = 2;
+  Noc noc(cfg, 16);
+  // One message on an idle mesh: no queueing, so arrival is exactly
+  // hops x (hop_latency + flits) after injection (store-and-forward).
+  const unsigned flits = 4;
+  const Cycle t = noc.traverse(0, 15, Cycle{100}, flits);
+  const unsigned hops = noc.route_hops(0, 15);
+  EXPECT_EQ(hops, 6u);
+  EXPECT_EQ(t, Cycle{100} + hops * (cfg.hop_latency + flits));
+  EXPECT_EQ(noc.messages(), 1u);
+  EXPECT_EQ(noc.total_hops(), hops);
+  EXPECT_EQ(noc.link_contention().delayed, 0u);
+  // Self-traversal is free: the tile IS its own home slice.
+  EXPECT_EQ(noc.traverse(3, 3, Cycle{100}, flits), Cycle{100});
+}
+
+TEST(Noc, OneByTwoMeshRoutesAlongY) {
+  // Regression: on a 1xN mesh node i+1 is the +y neighbor — index
+  // arithmetic that assumes +1 means +x used to find no link here.
+  Noc noc(mesh_cfg(), 2);  // 1x2
+  EXPECT_EQ(noc.route_hops(0, 1), 1u);
+  EXPECT_EQ(noc.traverse(0, 1, Cycle{0}, 1),
+            Cycle{noc.config().hop_latency + 1});
+  EXPECT_EQ(noc.traverse(1, 0, Cycle{0}, 1),
+            Cycle{noc.config().hop_latency + 1});
+}
+
+TEST(Noc, RingRoutesTheShorterArc) {
+  NocConfig cfg;
+  cfg.topology = Topology::Ring;
+  Noc noc(cfg, 8);
+  EXPECT_EQ(noc.route_hops(0, 3), 3u);
+  EXPECT_EQ(noc.route_hops(0, 5), 3u);  // counter-clockwise is shorter
+  EXPECT_EQ(noc.route_hops(0, 4), 4u);  // tie -> still 4 hops
+  EXPECT_EQ(noc.route_hops(6, 1), 3u);  // wraps around
+}
+
+TEST(Noc, HopHistogramSumsToMessages) {
+  Noc noc(mesh_cfg(), 4);  // 2x2
+  noc.traverse(0, 0, Cycle{0}, 1);
+  noc.traverse(0, 1, Cycle{0}, 1);
+  noc.traverse(0, 3, Cycle{0}, 1);
+  noc.traverse(3, 0, Cycle{0}, 1);
+  const std::vector<std::uint64_t>& hist = noc.hop_histogram();
+  ASSERT_EQ(hist.size(), 3u);  // diameter 2
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 2u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t h : hist) sum += h;
+  EXPECT_EQ(sum, noc.messages());
+}
+
+TEST(Noc, PerLinkOverflowIsCountedNeverSilent) {
+  Noc noc(mesh_cfg(), 4);
+  EXPECT_EQ(noc.link_contention().overflows, 0u);
+  // A booking past the occupancy horizon must surface in the aggregated
+  // link contention — the driver fails any point whose report carries a
+  // nonzero overflow count instead of publishing understated numbers.
+  noc.traverse(0, 1, Cycle{std::uint64_t{1} << 40}, 1);
+  EXPECT_GE(noc.link_contention().overflows, 1u);
+}
+
+TEST(Noc, LinkQueueingDelaysOverlappingMessages) {
+  Noc noc(mesh_cfg(), 4);
+  const Cycle first = noc.traverse(0, 1, Cycle{10}, 4);
+  const Cycle second = noc.traverse(0, 1, Cycle{10}, 4);
+  EXPECT_GT(second, first);  // same link, same cycle: one of them queues
+  const SharedResource::Contention c = noc.link_contention();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.delayed, 1u);
+  EXPECT_GT(c.queue_cycles, 0u);
+}
+
+driver::SweepPoint cg_point(const std::string& topology, const std::string& cores) {
+  driver::SweepPoint p;
+  p.machine = "hybrid_coherent";
+  p.workload = "CG";
+  p.scale = 0.05;
+  p.label = "noc_test/CG/" + topology + "/" + cores;
+  if (topology != "flat") p.knobs["topology"] = topology;
+  if (cores != "1") p.knobs["cores"] = cores;
+  return p;
+}
+
+std::string serialized(const RunReport& r) {
+  std::string s;
+  append_report_fields(s, r);
+  return s;
+}
+
+TEST(Noc, FlatMachineMatchesUnitMesh) {
+  // A 1x1 mesh degenerates to the flat uncore: the tile is its own home
+  // slice, every traversal is zero hops, and there is one DRAM channel —
+  // so all simulated metrics must match the flat machine exactly.  Only
+  // the noc_* report section differs (presence marker).
+  const driver::PointResult flat = driver::run_point(cg_point("flat", "1"));
+  const driver::PointResult mesh = driver::run_point(cg_point("mesh", "1"));
+  ASSERT_TRUE(flat.ok) << flat.error;
+  ASSERT_TRUE(mesh.ok) << mesh.error;
+  EXPECT_EQ(flat.report.core.cycles, mesh.report.core.cycles);
+  EXPECT_EQ(flat.report.amat, mesh.report.amat);
+  EXPECT_EQ(flat.report.l1_accesses, mesh.report.l1_accesses);
+  EXPECT_EQ(flat.report.l2_accesses, mesh.report.l2_accesses);
+  EXPECT_EQ(flat.report.energy.cpu, mesh.report.energy.cpu);
+  EXPECT_EQ(flat.report.energy.caches, mesh.report.energy.caches);
+  EXPECT_EQ(flat.report.l2_port.requests, mesh.report.l2_port.requests);
+  EXPECT_EQ(flat.report.l2_port.queue_cycles, mesh.report.l2_port.queue_cycles);
+  EXPECT_EQ(flat.report.dram.requests, mesh.report.dram.requests);
+  EXPECT_EQ(flat.report.noc_nodes, 0u);
+  EXPECT_EQ(mesh.report.noc_nodes, 1u);
+  EXPECT_EQ(mesh.report.noc_hops, 0u);  // a single node never crosses a link
+}
+
+TEST(Noc, MeshRoutingIsDeterministicAcrossRunsAndLockstepThreads) {
+  const driver::PointResult serial = driver::run_point(cg_point("mesh", "4"));
+  const driver::PointResult again = driver::run_point(cg_point("mesh", "4"));
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_EQ(serialized(serial.report), serialized(again.report));
+  // Lockstep tile threads at the default whole-run quantum are documented
+  // byte-identical to serial — the NoC must not break that (all link
+  // bookings happen inside engine-locked sections).
+  EngineConfig engine;
+  engine.tile_threads = 2;
+  const driver::PointResult lockstep =
+      driver::run_point(cg_point("mesh", "4"), engine);
+  ASSERT_TRUE(lockstep.ok) << lockstep.error;
+  EXPECT_EQ(serialized(serial.report), serialized(lockstep.report));
+}
+
+TEST(Noc, MeshReportSurvivesSerializationRoundTrip) {
+  const driver::PointResult mesh = driver::run_point(cg_point("mesh", "4"));
+  ASSERT_TRUE(mesh.ok) << mesh.error;
+  ASSERT_EQ(mesh.report.noc_nodes, 4u);
+  EXPECT_GT(mesh.report.noc_msgs, 0u);
+  EXPECT_GT(mesh.report.noc_hops, 0u);
+  const std::string text = "{" + serialized(mesh.report) + "}";
+  FieldMap fields;
+  ASSERT_TRUE(driver::parse_flat_json(text, fields));
+  const RunReport back = report_from_fields(fields);
+  EXPECT_EQ(serialized(back), serialized(mesh.report));
+  EXPECT_EQ(back.noc_hop_hist, mesh.report.noc_hop_hist);
+  // Flat reports must not even mention the section.
+  const driver::PointResult flat = driver::run_point(cg_point("flat", "1"));
+  ASSERT_TRUE(flat.ok) << flat.error;
+  EXPECT_EQ(serialized(flat.report).find("noc_"), std::string::npos);
+}
+
+TEST(Noc, MeshDimKnobPinsTheFactoring) {
+  driver::SweepPoint p = cg_point("mesh", "8");
+  p.knobs["mesh_dim"] = "2";
+  const driver::PointResult r = driver::run_point(p);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.report.noc_mesh_x, 2u);
+  EXPECT_EQ(r.report.noc_mesh_y, 4u);
+}
+
+}  // namespace
+}  // namespace hm

@@ -233,8 +233,19 @@ TEST(Tile, CoresKnobValidation) {
   p.scale = 0.05;
   p.knobs["cores"] = "0";
   EXPECT_THROW(run_point(p), std::invalid_argument);
-  p.knobs["cores"] = "65";
+  p.knobs["cores"] = "257";
   EXPECT_THROW(run_point(p), std::invalid_argument);
+  p.knobs["cores"] = "2";
+  p.knobs["topology"] = "grid";  // unknown topology spelling
+  EXPECT_THROW(run_point(p), std::invalid_argument);
+  p.knobs["topology"] = "flat";
+  p.knobs["mesh_dim"] = "2";  // mesh_dim without topology=mesh
+  EXPECT_THROW(run_point(p), std::invalid_argument);
+  p.knobs["topology"] = "mesh";
+  p.knobs["mesh_dim"] = "3";  // 3 does not divide 2 cores
+  EXPECT_THROW(run_point(p), std::invalid_argument);
+  p.knobs.erase("topology");
+  p.knobs.erase("mesh_dim");
   p.workload = "micro";
   p.knobs["cores"] = "2";
   EXPECT_THROW(run_point(p), std::invalid_argument);

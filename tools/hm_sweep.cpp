@@ -9,6 +9,14 @@
 //   hm_sweep run [flags]                  run experiments (default: all)
 //     --filter SUBSTR     only experiments whose name contains SUBSTR
 //     --jobs N|auto       worker threads (default auto = cores/tile-threads)
+//   Interconnect topology (see docs/ARCHITECTURE.md "Interconnect"):
+//     --topology T        override every point's topology knob: flat (the
+//                         historical single-arbiter uncore), mesh or ring.
+//                         Changes the simulated machine, so it enters the
+//                         canonical point identity (cache/journal keys);
+//                         `--topology flat` is identical to no flag
+//     --mesh-dim N        mesh X dimension (default 0 = near-square
+//                         auto-factor of the core count; must divide it)
 //   Parallel multi-tile engine (see README "Parallel engine"):
 //     --tile-threads N    engine threads per point (default 1 = serial)
 //     --sync MODE         lockstep|relaxed (default lockstep): lockstep is
@@ -99,6 +107,8 @@ struct CliOptions {
   bool list = false;
   std::string filter;
   unsigned jobs = 0;  // auto
+  std::string topology;   // ""=keep spec knobs; flat|mesh|ring overrides
+  unsigned mesh_dim = 0;  // mesh X dim override (0 = near-square auto)
   std::string format = "table";
   std::string out_dir;
   std::string cache_dir = ".hm_sweep_cache";
@@ -125,6 +135,7 @@ struct CliOptions {
 int usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s <list|run> [--filter SUBSTR] [--jobs N|auto]\n"
+               "       [--topology flat|mesh|ring] [--mesh-dim N]\n"
                "       [--format table|json|csv] [--out DIR] [--cache-dir DIR]\n"
                "       [--no-cache] [--scale F|full] [--quiet]\n"
                "       [--journal-dir DIR] [--no-journal] [--resume]\n"
@@ -212,6 +223,21 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
         opt.jobs = 0;
       } else if (!parse_positive_unsigned(v, opt.jobs)) {
         std::fprintf(stderr, "--jobs expects a positive integer or 'auto', got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--topology") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      opt.topology = v;
+      if (opt.topology != "flat" && opt.topology != "mesh" && opt.topology != "ring") {
+        std::fprintf(stderr, "--topology expects flat, mesh or ring, got: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--mesh-dim") {
+      const char* v = need_value(i);
+      if (!v) return false;
+      if (!parse_positive_unsigned(v, opt.mesh_dim)) {
+        std::fprintf(stderr, "--mesh-dim expects a positive integer, got: %s\n", v);
         return false;
       }
     } else if (arg == "--format") {
@@ -574,6 +600,10 @@ int main(int argc, char** argv) {
       sweep_opt.cache_dir = opt.cache_dir;
       sweep_opt.session_cache = &session;
       sweep_opt.scale_override = opt.scale;
+      if (!opt.topology.empty())
+        sweep_opt.knob_overrides["topology"] = opt.topology;
+      if (opt.mesh_dim != 0)
+        sweep_opt.knob_overrides["mesh_dim"] = std::to_string(opt.mesh_dim);
       sweep_opt.max_retries = opt.retries;
       sweep_opt.point_deadline_seconds = opt.deadline_seconds;
       sweep_opt.max_point_cycles = opt.max_point_cycles;
